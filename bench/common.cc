@@ -1,0 +1,224 @@
+#include "bench/common.hh"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace rodinia {
+namespace bench {
+
+namespace {
+
+constexpr int kCacheVersion = 4;
+
+std::string
+cachePath(const std::string &name, core::Scale scale, int threads)
+{
+    std::ostringstream os;
+    os << "bench_cache/v" << kCacheVersion << "_" << name << "_s"
+       << int(scale) << "_t" << threads << ".txt";
+    return os.str();
+}
+
+bool
+loadCached(const std::string &path, core::CpuCharacterization &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string tag;
+    size_t sweeps = 0;
+    in >> tag >> out.name >> out.threads;
+    if (tag != "cpuchar")
+        return false;
+    int suite;
+    in >> suite;
+    out.suite = core::Suite(suite);
+    in >> out.mix.intOps >> out.mix.fpOps >> out.mix.branches >>
+        out.mix.loads >> out.mix.stores;
+    in >> out.memEvents >> out.instructionSites >>
+        out.instructionBlocks >> out.dataPages >> out.checksum;
+    in >> sweeps;
+    out.cacheSizes.resize(sweeps);
+    out.sweep.resize(sweeps);
+    for (size_t i = 0; i < sweeps; ++i) {
+        auto &s = out.sweep[i];
+        in >> out.cacheSizes[i] >> s.accesses >> s.misses >>
+            s.evictions >> s.residencies >> s.sharedResidencies >>
+            s.accessesToShared >> s.writesToShared;
+    }
+    return bool(in);
+}
+
+void
+storeCached(const std::string &path,
+            const core::CpuCharacterization &c)
+{
+    std::filesystem::create_directories("bench_cache");
+    std::ofstream outf(path);
+    outf << "cpuchar " << c.name << " " << c.threads << "\n"
+         << int(c.suite) << "\n";
+    outf << c.mix.intOps << " " << c.mix.fpOps << " " << c.mix.branches
+         << " " << c.mix.loads << " " << c.mix.stores << "\n";
+    outf << c.memEvents << " " << c.instructionSites << " "
+         << c.instructionBlocks << " " << c.dataPages << " "
+         << c.checksum << "\n";
+    outf << c.sweep.size() << "\n";
+    for (size_t i = 0; i < c.sweep.size(); ++i) {
+        const auto &s = c.sweep[i];
+        outf << c.cacheSizes[i] << " " << s.accesses << " " << s.misses
+             << " " << s.evictions << " " << s.residencies << " "
+             << s.sharedResidencies << " " << s.accessesToShared << " "
+             << s.writesToShared << "\n";
+    }
+}
+
+} // namespace
+
+const std::vector<std::pair<std::string, std::string>> &
+figureOrder()
+{
+    static const std::vector<std::pair<std::string, std::string>> order =
+        {
+            {"backprop", "BP"},   {"bfs", "BFS"},
+            {"cfd", "CFD"},       {"heartwall", "HW"},
+            {"hotspot", "HS"},    {"kmeans", "KM"},
+            {"leukocyte", "LC"},  {"lud", "LUD"},
+            {"mummer", "MUM"},    {"nw", "NW"},
+            {"srad", "SRAD"},     {"streamcluster", "SC"},
+        };
+    return order;
+}
+
+std::vector<std::string>
+allCpuWorkloads()
+{
+    core::registerAllWorkloads();
+    auto &reg = core::Registry::instance();
+    auto rodinia = reg.names(core::Suite::Rodinia);
+    auto parsec = reg.names(core::Suite::Parsec);
+    std::vector<std::string> all = rodinia;
+    for (const auto &p : parsec)
+        if (std::find(all.begin(), all.end(), p) == all.end())
+            all.push_back(p);
+    return all;
+}
+
+core::CpuCharacterization
+cachedCpu(const std::string &name, core::Scale scale, int threads)
+{
+    core::registerAllWorkloads();
+    std::string path = cachePath(name, scale, threads);
+    core::CpuCharacterization out;
+    if (loadCached(path, out))
+        return out;
+    auto w = core::Registry::instance().create(name);
+    out = core::characterizeCpu(*w, scale, threads);
+    storeCached(path, out);
+    return out;
+}
+
+gpusim::LaunchSequence
+recordGpu(const std::string &name, core::Scale scale, int version)
+{
+    core::registerAllWorkloads();
+    auto w = core::Registry::instance().create(name);
+    if (w->gpuVersions() < 1)
+        fatal("workload '", name, "' has no GPU implementation");
+    if (version <= 0)
+        version = w->gpuVersions(); // shipped (most optimized)
+    return w->runGpu(scale, version);
+}
+
+std::vector<core::CpuCharacterization>
+allCharacterizations(core::Scale scale, int threads)
+{
+    std::vector<core::CpuCharacterization> out;
+    for (const auto &name : allCpuWorkloads())
+        out.push_back(cachedCpu(name, scale, threads));
+    return out;
+}
+
+std::string
+renderScatter(const std::vector<double> &xs,
+              const std::vector<double> &ys,
+              const std::vector<std::string> &labels,
+              const std::vector<core::Suite> &suites, int width,
+              int height)
+{
+    if (xs.empty())
+        return "";
+    double xmin = xs[0], xmax = xs[0], ymin = ys[0], ymax = ys[0];
+    for (size_t i = 0; i < xs.size(); ++i) {
+        xmin = std::min(xmin, xs[i]);
+        xmax = std::max(xmax, xs[i]);
+        ymin = std::min(ymin, ys[i]);
+        ymax = std::max(ymax, ys[i]);
+    }
+    double xspan = std::max(xmax - xmin, 1e-9);
+    double yspan = std::max(ymax - ymin, 1e-9);
+
+    std::vector<std::string> grid(height, std::string(width, ' '));
+    for (size_t i = 0; i < xs.size(); ++i) {
+        int cx = int((xs[i] - xmin) / xspan * (width - 1) + 0.5);
+        int cy = int((ys[i] - ymin) / yspan * (height - 1) + 0.5);
+        char mark = suites[i] == core::Suite::Rodinia ? 'x'
+                    : suites[i] == core::Suite::Parsec ? 'o'
+                                                       : '#';
+        char &cell = grid[height - 1 - cy][cx];
+        cell = (cell == ' ') ? mark : '*';
+    }
+
+    std::ostringstream os;
+    os << "  PC2 ^   (x = Rodinia, o = Parsec, # = both, * = overlap)\n";
+    for (const auto &row : grid)
+        os << "      |" << row << "\n";
+    os << "      +" << std::string(width, '-') << "> PC1\n\n";
+    for (size_t i = 0; i < labels.size(); ++i) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "  %-14s %-6s (%7.2f, %7.2f)\n",
+                      labels[i].c_str(),
+                      core::suiteTag(suites[i]).c_str(), xs[i], ys[i]);
+        os << buf;
+    }
+    return os.str();
+}
+
+namespace {
+
+std::string g_output;
+std::function<std::string()> g_build;
+
+void
+BM_Figure(benchmark::State &state)
+{
+    for (auto _ : state)
+        g_output = g_build();
+}
+
+} // namespace
+
+int
+runFigureBench(int argc, char **argv, const std::string &title,
+               const std::function<std::string()> &build)
+{
+    g_build = build;
+    benchmark::RegisterBenchmark(title.c_str(), BM_Figure)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    std::fputs("\n", stdout);
+    std::fputs(g_output.c_str(), stdout);
+    std::fflush(stdout);
+    return 0;
+}
+
+} // namespace bench
+} // namespace rodinia

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared utilities for the figure/table reproduction benches.
+ *
+ * Every bench binary regenerates one table or figure of the paper:
+ * it registers a google-benchmark case whose body performs the full
+ * experiment (so wall-clock cost is reported by the harness), and
+ * prints the reproduced rows/series afterwards.
+ *
+ * CPU characterizations are cached on disk (./bench_cache) because
+ * Figures 6-12 all consume the same 25 workload characterizations;
+ * results are deterministic, so the cache is always valid for a
+ * given cache version and scale.
+ */
+
+#ifndef RODINIA_BENCH_COMMON_HH
+#define RODINIA_BENCH_COMMON_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/characterize.hh"
+#include "core/workload.hh"
+#include "gpusim/recorder.hh"
+
+namespace rodinia {
+namespace bench {
+
+/** Rodinia workloads in the paper's figure order (Figs. 1-5). */
+const std::vector<std::pair<std::string, std::string>> &figureOrder();
+
+/** All 25 CPU workloads: 12 Rodinia + 13 Parsec (SC shared). */
+std::vector<std::string> allCpuWorkloads();
+
+/**
+ * CPU characterization with disk caching.
+ *
+ * @param name workload registry name
+ * @param scale problem-size tier
+ * @param threads worker thread count (paper: 8-core CMP)
+ */
+core::CpuCharacterization cachedCpu(const std::string &name,
+                                    core::Scale scale, int threads = 8);
+
+/** Record a workload's GPU launch sequence (best version). */
+gpusim::LaunchSequence recordGpu(const std::string &name,
+                                 core::Scale scale, int version = 0);
+
+/**
+ * Run the standard bench main: register the experiment as a
+ * google-benchmark case, run the harness, and print the produced
+ * figure text.
+ */
+int runFigureBench(int argc, char **argv, const std::string &title,
+                   const std::function<std::string()> &build);
+
+/** Characterize all 25 CPU workloads (cached). */
+std::vector<core::CpuCharacterization>
+allCharacterizations(core::Scale scale, int threads = 8);
+
+/**
+ * Render an ASCII scatter plot (Figures 7-9): Rodinia points print
+ * as 'x', Parsec as 'o', StreamCluster (both suites) as '#'; a
+ * legend lists the exact coordinates.
+ */
+std::string renderScatter(const std::vector<double> &xs,
+                          const std::vector<double> &ys,
+                          const std::vector<std::string> &labels,
+                          const std::vector<core::Suite> &suites,
+                          int width = 64, int height = 20);
+
+} // namespace bench
+} // namespace rodinia
+
+#endif // RODINIA_BENCH_COMMON_HH

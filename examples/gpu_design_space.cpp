@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Scenario: "how should I size my accelerator?"
+ *
+ * An architect's design-space sweep: one recorded kernel is replayed
+ * under a grid of shader counts and memory-channel counts, printing
+ * the IPC surface — the kind of study Section III-E motivates,
+ * without re-running the workload itself (record once, simulate
+ * many).
+ *
+ *   ./gpu_design_space [workload-name]
+ */
+
+#include <cstdio>
+
+#include "core/workload.hh"
+#include "gpusim/timing.hh"
+#include "support/table.hh"
+
+using namespace rodinia;
+
+int
+main(int argc, char **argv)
+{
+    core::registerAllWorkloads();
+    std::string name = argc > 1 ? argv[1] : "srad";
+    auto workload = core::Registry::instance().create(name);
+    if (workload->gpuVersions() < 1) {
+        std::fprintf(stderr, "'%s' has no GPU implementation\n",
+                     name.c_str());
+        return 1;
+    }
+
+    std::printf("recording %s once...\n", name.c_str());
+    auto seq = workload->runGpu(core::Scale::Small,
+                                workload->gpuVersions());
+
+    Table t("IPC surface for " + name +
+            " (rows: SMs, cols: memory channels)");
+    t.setHeader({"SMs \\ channels", "2", "4", "8", "16"});
+    for (int sms : {4, 8, 16, 28, 56}) {
+        std::vector<std::string> row{std::to_string(sms)};
+        for (int ch : {2, 4, 8, 16}) {
+            gpusim::SimConfig cfg = gpusim::SimConfig::gpgpusimDefault();
+            cfg.numSms = sms;
+            cfg.numChannels = ch;
+            auto st = gpusim::TimingSim(cfg).simulate(seq);
+            row.push_back(Table::fmt(st.ipc(), 1));
+        }
+        t.addRow(row);
+    }
+    t.print();
+
+    std::printf("\nReading the surface: movement along a row that "
+                "flattens means the kernel\nis compute/latency bound; "
+                "movement down a column that flattens means the\n"
+                "kernel ran out of thread blocks or saturated "
+                "bandwidth.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Scenario: "which benchmarks should I pick for my CMP study?"
+ *
+ * Characterizes a user-chosen subset of Rodinia and Parsec
+ * workloads, runs PCA over the full feature set, clusters them, and
+ * reports redundancy: workloads in the same cluster stress a machine
+ * similarly, so one representative per cluster suffices — the
+ * paper's Section V use case, as a library call.
+ *
+ *   ./suite_comparison [k]      (k = number of clusters, default 4)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/characterize.hh"
+#include "core/workload.hh"
+#include "stats/cluster.hh"
+#include "stats/pca.hh"
+
+using namespace rodinia;
+
+int
+main(int argc, char **argv)
+{
+    core::registerAllWorkloads();
+    int k = argc > 1 ? std::atoi(argv[1]) : 4;
+
+    // A study-sized subset: a few from each suite.
+    const std::vector<std::string> picks = {
+        "kmeans", "bfs",      "hotspot",      "srad",
+        "mummer", "dedup",    "blackscholes", "fluidanimate",
+        "canneal", "raytrace",
+    };
+
+    std::vector<std::vector<double>> rows;
+    std::vector<std::string> labels;
+    for (const auto &name : picks) {
+        auto w = core::Registry::instance().create(name);
+        auto c = core::characterizeCpu(*w, core::Scale::Small);
+        rows.push_back(c.allFeatures());
+        labels.push_back(name + core::suiteTag(c.suite));
+        std::printf("characterized %-18s (%llu mem events)\n",
+                    labels.back().c_str(),
+                    (unsigned long long)c.memEvents);
+    }
+
+    auto pca = stats::runPca(stats::Matrix::fromRows(rows));
+    size_t keep = pca.componentsForVariance(0.9);
+    std::printf("\nPCA: %zu components cover 90%% of variance\n\n",
+                keep);
+
+    auto lk = stats::hierarchicalCluster(stats::pcaProject(pca, keep));
+    std::printf("%s\n", stats::renderDendrogram(lk, labels).c_str());
+
+    if (k < 1 || k > int(picks.size()))
+        k = 4;
+    auto cut = lk.cut(k);
+    std::printf("Pick one workload per cluster (k = %d):\n", k);
+    for (int cl = 0; cl < k; ++cl) {
+        std::printf("  cluster %d:", cl);
+        for (size_t i = 0; i < labels.size(); ++i)
+            if (cut[i] == cl)
+                std::printf(" %s", labels[i].c_str());
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Command-line driver over the whole library — the fifth example and
+ * the tool a downstream user scripts against.
+ *
+ *   suite_runner list
+ *   suite_runner cpu <workload> [tiny|small|full] [threads]
+ *   suite_runner gpu <workload> [tiny|small|full] [version]
+ *   suite_runner sweep <workload>          # cache-size sweep table
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/characterize.hh"
+#include "core/workload.hh"
+#include "gpusim/simconfig.hh"
+#include "support/table.hh"
+
+using namespace rodinia;
+
+namespace {
+
+core::Scale
+scaleOf(const char *s)
+{
+    if (!s || !std::strcmp(s, "full"))
+        return core::Scale::Full;
+    if (!std::strcmp(s, "tiny"))
+        return core::Scale::Tiny;
+    if (!std::strcmp(s, "small"))
+        return core::Scale::Small;
+    std::fprintf(stderr, "unknown scale '%s' (tiny|small|full)\n", s);
+    std::exit(1);
+}
+
+int
+cmdList()
+{
+    Table t("Registered workloads");
+    t.setHeader({"name", "suite", "dwarf", "domain", "GPU"});
+    for (const auto &info : core::Registry::instance().all()) {
+        auto w = core::Registry::instance().create(info.name);
+        t.addRow({info.name, core::suiteTag(info.suite), info.dwarf,
+                  info.domain,
+                  w->gpuVersions() ? std::to_string(w->gpuVersions()) +
+                                         " version(s)"
+                                   : "-"});
+    }
+    t.print();
+    return 0;
+}
+
+int
+cmdCpu(const char *name, core::Scale scale, int threads)
+{
+    auto w = core::Registry::instance().create(name);
+    auto c = core::characterizeCpu(*w, scale, threads);
+    auto f = c.instrMixFeatures();
+    std::printf("%s: %llu instructions on %d threads\n", name,
+                (unsigned long long)c.mix.total(), threads);
+    std::printf("  mix: int %.1f%%  fp %.1f%%  branch %.1f%%  "
+                "load %.1f%%  store %.1f%%\n",
+                f[0] * 100, f[1] * 100, f[2] * 100, f[3] * 100,
+                f[4] * 100);
+    std::printf("  footprints: %llu data pages, %llu instr blocks, "
+                "checksum %016llx\n",
+                (unsigned long long)c.dataPages,
+                (unsigned long long)c.instructionBlocks,
+                (unsigned long long)c.checksum);
+    return 0;
+}
+
+int
+cmdGpu(const char *name, core::Scale scale, int version)
+{
+    auto w = core::Registry::instance().create(name);
+    if (w->gpuVersions() < 1) {
+        std::fprintf(stderr, "'%s' is CPU-only\n", name);
+        return 1;
+    }
+    if (version <= 0)
+        version = w->gpuVersions();
+    auto g = core::characterizeGpu(
+        *w, scale, gpusim::SimConfig::gpgpusimDefault(), version);
+    std::printf("%s v%d: IPC %.1f, %llu cycles, BW util %.1f%%, "
+                "avg occupancy %.1f/32\n",
+                name, version, g.timing.ipc(),
+                (unsigned long long)g.timing.cycles,
+                g.timing.bwUtilization() * 100,
+                g.trace.avgWarpOccupancy());
+    return 0;
+}
+
+int
+cmdSweep(const char *name, core::Scale scale)
+{
+    auto w = core::Registry::instance().create(name);
+    auto c = core::characterizeCpu(*w, scale);
+    Table t("Cache sweep for " + std::string(name));
+    t.setHeader({"size", "miss rate", "shared lines", "shared accs"});
+    for (size_t i = 0; i < c.cacheSizes.size(); ++i)
+        t.addRow({std::to_string(c.cacheSizes[i] / 1024) + " kB",
+                  Table::fmt(c.sweep[i].missRate(), 4),
+                  Table::pct(c.sweep[i].sharedLineFraction()),
+                  Table::pct(c.sweep[i].sharedAccessFraction())});
+    t.print();
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    core::registerAllWorkloads();
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s list | cpu <w> [scale] [threads] | "
+                     "gpu <w> [scale] [version] | sweep <w> [scale]\n",
+                     argv[0]);
+        return 1;
+    }
+    std::string cmd = argv[1];
+    if (cmd == "list")
+        return cmdList();
+    if (argc < 3) {
+        std::fprintf(stderr, "%s needs a workload name\n", cmd.c_str());
+        return 1;
+    }
+    if (!core::Registry::instance().has(argv[2])) {
+        std::fprintf(stderr, "unknown workload '%s'\n", argv[2]);
+        return 1;
+    }
+    core::Scale scale = scaleOf(argc > 3 ? argv[3] : nullptr);
+    if (cmd == "cpu")
+        return cmdCpu(argv[2], scale, argc > 4 ? std::atoi(argv[4]) : 8);
+    if (cmd == "gpu")
+        return cmdGpu(argv[2], scale, argc > 4 ? std::atoi(argv[4]) : 0);
+    if (cmd == "sweep")
+        return cmdSweep(argv[2], scale);
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return 1;
+}

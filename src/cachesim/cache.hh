@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Multicore shared-cache simulator for working-set and sharing
+ * analysis (Sections IV-B, V-A; Figures 8, 9, 10).
+ *
+ * Mirrors Bienia et al.'s methodology: an 8-core CMP with one cache
+ * shared by all cores, 4-way associative with 64-byte lines, swept
+ * from 128 kB to 16 MB. For every residency of a line we track which
+ * threads touched it; a residency touched by more than one thread is
+ * "shared", giving the fraction-of-lines-shared and
+ * accesses-to-shared-lines-per-memory-reference metrics.
+ */
+
+#ifndef RODINIA_CACHESIM_CACHE_HH
+#define RODINIA_CACHESIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rodinia {
+namespace trace {
+class TraceSession;
+} // namespace trace
+
+namespace cachesim {
+
+/** Geometry of one simulated shared cache. */
+struct CacheConfig
+{
+    uint64_t sizeBytes = 4 * 1024 * 1024;
+    int assoc = 4;
+    int lineBytes = 64;
+
+    uint64_t numSets() const
+    {
+        return sizeBytes / (uint64_t(assoc) * lineBytes);
+    }
+};
+
+/** Counters accumulated while replaying a trace through the cache. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+
+    /** Line residencies that ended (evicted or still live at end). */
+    uint64_t residencies = 0;
+    /** Residencies touched by two or more distinct threads. */
+    uint64_t sharedResidencies = 0;
+    /** Accesses to a line after it became shared in its residency. */
+    uint64_t accessesToShared = 0;
+    /** Write accesses to shared residencies (communication proxy). */
+    uint64_t writesToShared = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? double(misses) / double(accesses) : 0.0;
+    }
+    double
+    sharedLineFraction() const
+    {
+        return residencies ? double(sharedResidencies) /
+                             double(residencies)
+                           : 0.0;
+    }
+    double
+    sharedAccessFraction() const
+    {
+        return accesses ? double(accessesToShared) / double(accesses)
+                        : 0.0;
+    }
+};
+
+/**
+ * One shared, set-associative, LRU, write-allocate cache fed by a
+ * multithreaded access stream.
+ */
+class SharedCache
+{
+  public:
+    explicit SharedCache(const CacheConfig &config);
+
+    /** Replay one access; internally splits line-crossing accesses. */
+    void access(int tid, uint64_t addr, uint32_t size, bool is_write);
+
+    /**
+     * Finalize statistics: residencies still live in the cache are
+     * counted (and classified shared or private). Call once, after
+     * the full trace has been replayed.
+     */
+    const CacheStats &finish();
+
+    const CacheConfig &config() const { return cfg; }
+    const CacheStats &stats() const { return counters; }
+
+  private:
+    void accessLine(int tid, uint64_t line_addr, bool is_write);
+
+    struct Line
+    {
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+        uint64_t threadMask = 0;
+        bool valid = false;
+    };
+
+    CacheConfig cfg;
+    CacheStats counters;
+    std::vector<Line> lines;   //!< numSets * assoc, set-major
+    uint64_t useClock = 0;
+    bool finished = false;
+};
+
+/**
+ * Replay the session's interleaved memory trace through one cache of
+ * each given size simultaneously and return the per-size statistics.
+ */
+std::vector<CacheStats> sweepCacheSizes(
+    const trace::TraceSession &session,
+    const std::vector<uint64_t> &sizes_bytes, int assoc = 4,
+    int line_bytes = 64);
+
+/** The paper's eight cache sizes: 128 kB .. 16 MB, powers of two. */
+std::vector<uint64_t> paperCacheSizes();
+
+} // namespace cachesim
+} // namespace rodinia
+
+#endif // RODINIA_CACHESIM_CACHE_HH

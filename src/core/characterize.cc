@@ -1,0 +1,149 @@
+#include "core/characterize.hh"
+
+#include "support/logging.hh"
+
+namespace rodinia {
+namespace core {
+
+std::vector<double>
+CpuCharacterization::instrMixFeatures() const
+{
+    double total = double(mix.total());
+    if (total <= 0.0)
+        return {0.0, 0.0, 0.0, 0.0, 0.0};
+    return {
+        mix.intOps / total,   mix.fpOps / total, mix.branches / total,
+        mix.loads / total,    mix.stores / total,
+    };
+}
+
+std::vector<double>
+CpuCharacterization::workingSetFeatures() const
+{
+    std::vector<double> out;
+    out.reserve(sweep.size());
+    for (const auto &s : sweep)
+        out.push_back(s.missRate());
+    return out;
+}
+
+std::vector<double>
+CpuCharacterization::sharingFeatures() const
+{
+    std::vector<double> out;
+    out.reserve(sweep.size() * 2);
+    for (const auto &s : sweep)
+        out.push_back(s.sharedLineFraction());
+    for (const auto &s : sweep)
+        out.push_back(s.sharedAccessFraction());
+    return out;
+}
+
+std::vector<double>
+CpuCharacterization::allFeatures() const
+{
+    std::vector<double> out = instrMixFeatures();
+    auto ws = workingSetFeatures();
+    auto sh = sharingFeatures();
+    out.insert(out.end(), ws.begin(), ws.end());
+    out.insert(out.end(), sh.begin(), sh.end());
+    return out;
+}
+
+std::vector<std::string>
+CpuCharacterization::instrMixFeatureNames()
+{
+    return {"int", "fp", "branch", "load", "store"};
+}
+
+namespace {
+
+std::string
+sizeLabel(uint64_t bytes)
+{
+    if (bytes >= 1024 * 1024)
+        return std::to_string(bytes / (1024 * 1024)) + "MB";
+    return std::to_string(bytes / 1024) + "kB";
+}
+
+} // namespace
+
+std::vector<std::string>
+CpuCharacterization::workingSetFeatureNames(
+    const std::vector<uint64_t> &sizes)
+{
+    std::vector<std::string> out;
+    for (uint64_t s : sizes)
+        out.push_back("miss@" + sizeLabel(s));
+    return out;
+}
+
+std::vector<std::string>
+CpuCharacterization::sharingFeatureNames(const std::vector<uint64_t> &sizes)
+{
+    std::vector<std::string> out;
+    for (uint64_t s : sizes)
+        out.push_back("shline@" + sizeLabel(s));
+    for (uint64_t s : sizes)
+        out.push_back("shacc@" + sizeLabel(s));
+    return out;
+}
+
+CpuCharacterization
+characterizeCpu(Workload &workload, Scale scale, int threads)
+{
+    CpuCharacterization out;
+    out.name = workload.info().name;
+    out.suite = workload.info().suite;
+    out.threads = threads;
+
+    trace::TraceSession session(threads, true);
+    workload.runCpu(session, scale);
+
+    out.mix = session.totalMix();
+    out.memEvents = session.totalEvents();
+    out.instructionSites = session.instructionSites();
+    out.instructionBlocks = session.instructionFootprintBlocks();
+    out.dataPages = session.dataFootprintPages();
+    out.checksum = workload.checksum();
+
+    out.cacheSizes = cachesim::paperCacheSizes();
+    out.sweep = cachesim::sweepCacheSizes(session, out.cacheSizes);
+    return out;
+}
+
+GpuCharacterization
+characterizeGpu(Workload &workload, Scale scale,
+                const gpusim::SimConfig &config, int version)
+{
+    if (workload.gpuVersions() < version)
+        fatal("workload '", workload.info().name,
+              "' has no GPU version ", version);
+
+    GpuCharacterization out;
+    out.name = workload.info().name;
+    out.version = version;
+
+    gpusim::LaunchSequence seq = workload.runGpu(scale, version);
+    out.trace = gpusim::analyzeTrace(seq, config.warpSize);
+    gpusim::TimingSim sim(config);
+    out.timing = sim.simulate(seq);
+    return out;
+}
+
+std::string
+suiteTag(Suite suite)
+{
+    switch (suite) {
+      case Suite::Rodinia:
+        return "(R)";
+      case Suite::Parsec:
+        return "(P)";
+      case Suite::Both:
+      default:
+        return "(R, P)";
+    }
+}
+
+} // namespace core
+} // namespace rodinia

@@ -1,0 +1,58 @@
+#include "core/workload.hh"
+
+#include "support/logging.hh"
+
+namespace rodinia {
+namespace core {
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+void
+Registry::add(const WorkloadInfo &info, WorkloadFactory factory)
+{
+    for (const auto &existing : infos) {
+        if (existing.name == info.name)
+            fatal("Registry: duplicate workload '", info.name, "'");
+    }
+    infos.push_back(info);
+    factories.push_back(std::move(factory));
+}
+
+std::unique_ptr<Workload>
+Registry::create(const std::string &name) const
+{
+    for (size_t i = 0; i < infos.size(); ++i) {
+        if (infos[i].name == name)
+            return factories[i]();
+    }
+    fatal("Registry: unknown workload '", name, "'");
+}
+
+bool
+Registry::has(const std::string &name) const
+{
+    for (const auto &info : infos) {
+        if (info.name == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+Registry::names(Suite suite) const
+{
+    std::vector<std::string> out;
+    for (const auto &info : infos) {
+        if (info.suite == suite || info.suite == Suite::Both)
+            out.push_back(info.name);
+    }
+    return out;
+}
+
+} // namespace core
+} // namespace rodinia

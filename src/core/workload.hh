@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Workload abstraction and registry.
+ *
+ * Every benchmark in the reproduced suites (the 12 Rodinia
+ * applications and the 13 Parsec analogs) implements Workload: an
+ * instrumented multithreaded CPU implementation (the OpenMP analog)
+ * and, for Rodinia, one or more instrumented SIMT GPU kernels (the
+ * CUDA analog). The registry maps names to factories and carries the
+ * Table I / Table V metadata (dwarf, domain, problem sizes).
+ */
+
+#ifndef RODINIA_CORE_WORKLOAD_HH
+#define RODINIA_CORE_WORKLOAD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpusim/recorder.hh"
+#include "trace/trace.hh"
+
+namespace rodinia {
+namespace core {
+
+/** Which benchmark collection a workload belongs to. */
+enum class Suite { Rodinia, Parsec, Both };
+
+/** Problem-size tier (all tiers are scaled for simulation). */
+enum class Scale {
+    Tiny, //!< smallest: parameter sweeps (Plackett-Burman) and tests
+    Small, //!< quick characterization runs
+    Full, //!< default evaluation size (scaled down from Table I)
+};
+
+/** Static metadata about one workload (Tables I and V). */
+struct WorkloadInfo
+{
+    std::string name;        //!< registry key, e.g. "kmeans"
+    std::string displayName; //!< e.g. "Kmeans"
+    Suite suite = Suite::Rodinia;
+    std::string dwarf;       //!< Berkeley dwarf
+    std::string domain;      //!< application domain
+    std::string problemSize; //!< human-readable Full-scale size
+    std::string description;
+};
+
+/** One benchmark with instrumented CPU and (optionally) GPU code. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual const WorkloadInfo &info() const = 0;
+
+    /**
+     * Run the multithreaded CPU implementation under instrumentation.
+     * The session supplies the thread count and records the trace.
+     */
+    virtual void runCpu(trace::TraceSession &session, Scale scale) = 0;
+
+    /** Number of GPU implementation versions (0 = CPU only). */
+    virtual int gpuVersions() const { return 0; }
+
+    /**
+     * Record the GPU implementation's launch sequence.
+     * @param version 1-based implementation version (Table III's
+     *        incrementally optimized variants)
+     */
+    virtual gpusim::LaunchSequence
+    runGpu(Scale scale, int version = 1)
+    {
+        (void)scale;
+        (void)version;
+        return {};
+    }
+
+    /** Deterministic digest of the most recent run's output. */
+    virtual uint64_t checksum() const { return 0; }
+};
+
+/** Factory signature for registry entries. */
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+/** Global name-to-factory registry with suite metadata. */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    /** Register a workload; duplicate names are fatal. */
+    void add(const WorkloadInfo &info, WorkloadFactory factory);
+
+    /** Instantiate by name; unknown names are fatal. */
+    std::unique_ptr<Workload> create(const std::string &name) const;
+
+    bool has(const std::string &name) const;
+
+    /** Metadata for every registered workload, in insertion order. */
+    const std::vector<WorkloadInfo> &all() const { return infos; }
+
+    /** Names of workloads in the given suite (Both matches both). */
+    std::vector<std::string> names(Suite suite) const;
+
+  private:
+    std::vector<WorkloadInfo> infos;
+    std::vector<WorkloadFactory> factories;
+};
+
+/**
+ * Register every built-in workload (idempotent). Call before using
+ * the registry; an explicit call avoids static-initialization-order
+ * and static-library dead-stripping hazards.
+ */
+void registerAllWorkloads();
+
+/** FNV-1a helper for workload checksums. */
+inline uint64_t
+hashCombine(uint64_t h, uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+}
+
+/** Checksum helper over a range of arithmetic values. */
+template <typename It>
+uint64_t
+hashRange(It begin, It end)
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (It it = begin; it != end; ++it) {
+        uint64_t bits;
+        double d = double(*it);
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        h = hashCombine(h, bits);
+    }
+    return h;
+}
+
+} // namespace core
+} // namespace rodinia
+
+#endif // RODINIA_CORE_WORKLOAD_HH

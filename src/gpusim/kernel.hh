@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Kernel-authoring API for the SIMT simulator.
+ *
+ * A kernel is a per-thread C++ function receiving a KernelCtx. The
+ * function performs the real computation on host data while reporting
+ * every dynamic instruction through the context:
+ *
+ *   float v = ctx.ldg(&in[i]);        // global load (reads in[i])
+ *   ctx.fp(3);                        // three FP operations
+ *   if (ctx.branch(v > 0.0f)) { ... } // divergent branch
+ *   ctx.sync();                       // __syncthreads()
+ *
+ * Shared memory is allocated per block via ctx.shared<T>(n) and read
+ * and written through Shared<T>, giving real producer/consumer
+ * semantics between barriers (threads of a block run as cooperatively
+ * scheduled fibers). Loop bodies that may diverge across lanes should
+ * declare a LoopIter so that different iterations get distinct
+ * execution-order keys, modeling reconvergence-stack behavior.
+ */
+
+#ifndef RODINIA_GPUSIM_KERNEL_HH
+#define RODINIA_GPUSIM_KERNEL_HH
+
+#include <cstring>
+#include <functional>
+#include <source_location>
+
+#include "gpusim/types.hh"
+
+namespace rodinia {
+namespace gpusim {
+
+class BlockRunner;
+class KernelCtx;
+
+/** Handle to a per-block shared-memory array of T. */
+template <typename T>
+class Shared
+{
+  public:
+    Shared() = default;
+    Shared(T *storage, uint64_t base_addr, size_t count)
+        : storage(storage), baseAddr(base_addr), nElems(count)
+    {
+    }
+
+    /** Instrumented shared-memory load (declared below). */
+    T get(KernelCtx &ctx, size_t i,
+          std::source_location loc = std::source_location::current()) const;
+
+    /** Instrumented shared-memory store (declared below). */
+    void put(KernelCtx &ctx, size_t i, const T &v,
+             std::source_location loc =
+                 std::source_location::current()) const;
+
+    size_t size() const { return nElems; }
+    uint64_t addrOf(size_t i) const { return baseAddr + i * sizeof(T); }
+
+  private:
+    T *storage = nullptr;
+    uint64_t baseAddr = 0;
+    size_t nElems = 0;
+};
+
+/** The per-thread execution context passed to kernel functions. */
+class KernelCtx
+{
+  public:
+    KernelCtx(BlockRunner *runner, int tid, int block_idx,
+              const LaunchConfig &launch);
+
+    /** Thread index within the block. */
+    int tid() const { return threadId; }
+    /** Block index within the grid. */
+    int blockIdx() const { return blockId; }
+    int blockDim() const { return cfg.blockDim; }
+    int gridDim() const { return cfg.gridDim; }
+    /** Flattened global thread id. */
+    int globalId() const { return blockId * cfg.blockDim + threadId; }
+
+    /** @name Instrumented memory accesses
+     *  Typed loads/stores that move real data and record the access.
+     *  @{
+     */
+    template <typename T>
+    T
+    ldg(const T *p,
+        std::source_location loc = std::source_location::current())
+    {
+        record(GOp::Load, Space::Global, uint64_t(uintptr_t(p)), sizeof(T),
+               loc);
+        return *p;
+    }
+
+    template <typename T>
+    void
+    stg(T *p, const T &v,
+        std::source_location loc = std::source_location::current())
+    {
+        record(GOp::Store, Space::Global, uint64_t(uintptr_t(p)), sizeof(T),
+               loc);
+        *p = v;
+    }
+
+    /** Constant-memory load (cached, read-only parameters). */
+    template <typename T>
+    T
+    ldc(const T *p,
+        std::source_location loc = std::source_location::current())
+    {
+        record(GOp::Load, Space::Const, uint64_t(uintptr_t(p)), sizeof(T),
+               loc);
+        return *p;
+    }
+
+    /** Texture fetch (cached, read-only, spatially local). */
+    template <typename T>
+    T
+    ldt(const T *p,
+        std::source_location loc = std::source_location::current())
+    {
+        record(GOp::Load, Space::Tex, uint64_t(uintptr_t(p)), sizeof(T),
+               loc);
+        return *p;
+    }
+
+    /** Kernel-parameter load (always treated as a cache hit [2]). */
+    template <typename T>
+    T
+    ldp(const T *p,
+        std::source_location loc = std::source_location::current())
+    {
+        record(GOp::Load, Space::Param, uint64_t(uintptr_t(p)), sizeof(T),
+               loc);
+        return *p;
+    }
+
+    /** Thread-local (spill) memory access. */
+    template <typename T>
+    T
+    ldl(const T *p,
+        std::source_location loc = std::source_location::current())
+    {
+        record(GOp::Load, Space::Local, uint64_t(uintptr_t(p)), sizeof(T),
+               loc);
+        return *p;
+    }
+
+    template <typename T>
+    void
+    stl(T *p, const T &v,
+        std::source_location loc = std::source_location::current())
+    {
+        record(GOp::Store, Space::Local, uint64_t(uintptr_t(p)), sizeof(T),
+               loc);
+        *p = v;
+    }
+    /** @} */
+
+    /** Allocate (or attach to) a per-block shared array of n Ts. */
+    template <typename T>
+    Shared<T>
+    shared(size_t n)
+    {
+        uint64_t base = 0;
+        void *storage = sharedAlloc(n * sizeof(T), alignof(T), base);
+        return Shared<T>(static_cast<T *>(storage), base, n);
+    }
+
+    /** Report `n` integer ALU instructions. */
+    void
+    alu(uint32_t n = 1,
+        std::source_location loc = std::source_location::current())
+    {
+        record(GOp::IntAlu, Space::None, 0, 0, loc, n);
+    }
+
+    /** Report `n` floating-point instructions. */
+    void
+    fp(uint32_t n = 1,
+       std::source_location loc = std::source_location::current())
+    {
+        record(GOp::FpAlu, Space::None, 0, 0, loc, n);
+    }
+
+    /** Record a branch; returns `cond` for direct use in `if`. */
+    bool
+    branch(bool cond,
+           std::source_location loc = std::source_location::current())
+    {
+        record(GOp::Branch, Space::None, 0, 0, loc);
+        return cond;
+    }
+
+    /** __syncthreads(): barrier across the thread block. */
+    void sync(std::source_location loc = std::source_location::current());
+
+    /** @name Loop path tracking (used by LoopIter) @{ */
+    void pushLoop(uint16_t pc, uint32_t iter);
+    void popLoop();
+    /** @} */
+
+    /** Record one dynamic instruction. */
+    void record(GOp op, Space space, uint64_t addr, uint32_t size,
+                const std::source_location &loc, uint32_t count = 1);
+
+    /** Raw shared-memory access recording (used by Shared<T>). */
+    void
+    recordShared(bool is_write, uint64_t addr, uint32_t size,
+                 const std::source_location &loc)
+    {
+        record(is_write ? GOp::Store : GOp::Load, Space::Shared, addr, size,
+               loc);
+    }
+
+  private:
+    OrderKey currentKey(uint16_t event_pc) const;
+    void *sharedAlloc(size_t bytes, size_t align, uint64_t &base_addr);
+
+    BlockRunner *runner;
+    int threadId;
+    int blockId;
+    LaunchConfig cfg;
+
+    /** Loop path stack: packed (pc << 16) | (iter + 1), outer first. */
+    uint32_t loopStack[8];
+    int loopDepth = 0;
+
+    std::vector<GEvent> events;
+    size_t sharedCursor = 0;
+
+    friend class BlockRunner;
+};
+
+template <typename T>
+T
+Shared<T>::get(KernelCtx &ctx, size_t i, std::source_location loc) const
+{
+    ctx.recordShared(false, addrOf(i), sizeof(T), loc);
+    return storage[i];
+}
+
+template <typename T>
+void
+Shared<T>::put(KernelCtx &ctx, size_t i, const T &v,
+               std::source_location loc) const
+{
+    ctx.recordShared(true, addrOf(i), sizeof(T), loc);
+    storage[i] = v;
+}
+
+/**
+ * RAII marker for one iteration of a potentially divergent loop.
+ * Construct inside the loop body with the iteration number; distinct
+ * iterations then get distinct execution-order keys so lanes in
+ * different iterations are not merged by the warp replayer.
+ */
+class LoopIter
+{
+  public:
+    LoopIter(KernelCtx &ctx, uint32_t iter,
+             std::source_location loc = std::source_location::current())
+        : ctx(ctx)
+    {
+        ctx.pushLoop(packPc(loc), iter);
+    }
+    ~LoopIter() { ctx.popLoop(); }
+
+    LoopIter(const LoopIter &) = delete;
+    LoopIter &operator=(const LoopIter &) = delete;
+
+  private:
+    KernelCtx &ctx;
+};
+
+/** A GPU kernel: per-thread function over the execution context. */
+using Kernel = std::function<void(KernelCtx &)>;
+
+} // namespace gpusim
+} // namespace rodinia
+
+#endif // RODINIA_GPUSIM_KERNEL_HH

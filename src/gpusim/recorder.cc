@@ -1,0 +1,343 @@
+#include "gpusim/recorder.hh"
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "support/logging.hh"
+
+namespace rodinia {
+namespace gpusim {
+
+namespace {
+
+constexpr size_t fiberStackBytes = 128 * 1024;
+constexpr uint64_t sharedBase = 0x10000;
+constexpr uint64_t maxEventsPerLaunch = 80ULL * 1000 * 1000;
+
+} // namespace
+
+/**
+ * Executes the threads of one block as fibers, giving real barrier
+ * and shared-memory semantics while recording per-lane traces.
+ */
+class BlockRunner
+{
+  public:
+    BlockRunner(const LaunchConfig &launch, const Kernel &kernel,
+                int block_idx)
+        : launch(launch), kernel(kernel), blockIdx(block_idx)
+    {
+    }
+
+    BlockRecord run();
+
+    /** Fiber-yielding barrier, called from KernelCtx::sync(). */
+    void
+    barrier(int tid)
+    {
+        fibers[tid].atBarrier = true;
+        swapcontext(&fibers[tid].ctx, &schedCtx);
+    }
+
+    /**
+     * Order-stable per-block shared-memory allocator: every thread
+     * performs the same allocation sequence; the first performer
+     * creates the buffer, later threads attach by cursor.
+     */
+    void *
+    sharedAlloc(size_t &cursor, size_t bytes, size_t align,
+                uint64_t &base_addr)
+    {
+        if (cursor == allocs.size()) {
+            SharedAllocation a;
+            uint64_t aligned = (sharedTop + align - 1) / align * align;
+            a.base = aligned;
+            a.buf.assign(bytes, std::byte{0});
+            sharedTop = aligned + bytes;
+            allocs.push_back(std::move(a));
+        }
+        SharedAllocation &a = allocs[cursor];
+        if (a.buf.size() != bytes)
+            fatal("shared allocation sequence diverged across threads "
+                  "(block ", blockIdx, ", alloc #", cursor, ")");
+        base_addr = a.base;
+        ++cursor;
+        return a.buf.data();
+    }
+
+    uint64_t eventBudgetUsed = 0;
+
+  private:
+    struct Fiber
+    {
+        ucontext_t ctx;
+        std::unique_ptr<char[]> stack;
+        bool done = false;
+        bool atBarrier = false;
+    };
+
+    struct SharedAllocation
+    {
+        std::vector<std::byte> buf;
+        uint64_t base = 0;
+    };
+
+    static void trampoline(unsigned hi, unsigned lo);
+
+    void
+    runThreadBody()
+    {
+        kernel(*ctxs[currentThread]);
+        fibers[currentThread].done = true;
+    }
+
+    LaunchConfig launch;
+    const Kernel &kernel;
+    int blockIdx;
+
+    ucontext_t schedCtx;
+    std::vector<Fiber> fibers;
+    std::vector<std::unique_ptr<KernelCtx>> ctxs;
+    int currentThread = 0;
+
+    std::vector<SharedAllocation> allocs;
+    uint64_t sharedTop = sharedBase;
+};
+
+void
+BlockRunner::trampoline(unsigned hi, unsigned lo)
+{
+    auto *self = reinterpret_cast<BlockRunner *>(
+        (uint64_t(hi) << 32) | uint64_t(lo));
+    self->runThreadBody();
+    // Returning lets ucontext follow uc_link back to the scheduler.
+}
+
+BlockRecord
+BlockRunner::run()
+{
+    const int n = launch.blockDim;
+    fibers.resize(n);
+    ctxs.clear();
+    for (int t = 0; t < n; ++t)
+        ctxs.push_back(
+            std::make_unique<KernelCtx>(this, t, blockIdx, launch));
+
+    uint64_t self_bits = uint64_t(uintptr_t(this));
+    for (int t = 0; t < n; ++t) {
+        Fiber &f = fibers[t];
+        f.stack = std::make_unique<char[]>(fiberStackBytes);
+        if (getcontext(&f.ctx) != 0)
+            panic("getcontext failed");
+        f.ctx.uc_stack.ss_sp = f.stack.get();
+        f.ctx.uc_stack.ss_size = fiberStackBytes;
+        f.ctx.uc_link = &schedCtx;
+        makecontext(&f.ctx, reinterpret_cast<void (*)()>(trampoline), 2,
+                    unsigned(self_bits >> 32), unsigned(self_bits));
+    }
+
+    // Scheduler: run every live, unblocked fiber in thread order;
+    // when all live fibers sit at the barrier, release them together.
+    while (true) {
+        bool all_done = true;
+        for (int t = 0; t < n; ++t) {
+            Fiber &f = fibers[t];
+            if (f.done || f.atBarrier) {
+                all_done = all_done && f.done;
+                continue;
+            }
+            currentThread = t;
+            swapcontext(&schedCtx, &f.ctx);
+            all_done = all_done && f.done;
+        }
+        if (all_done)
+            break;
+        // Every fiber is now done or at a barrier: release the phase.
+        for (int t = 0; t < n; ++t)
+            fibers[t].atBarrier = false;
+    }
+
+    BlockRecord rec;
+    rec.blockDim = n;
+    rec.sharedBytes = sharedTop - sharedBase;
+    rec.lanes.reserve(n);
+    for (int t = 0; t < n; ++t) {
+        eventBudgetUsed += ctxs[t]->events.size();
+        rec.lanes.push_back(std::move(ctxs[t]->events));
+    }
+    return rec;
+}
+
+KernelCtx::KernelCtx(BlockRunner *runner, int tid, int block_idx,
+                     const LaunchConfig &launch)
+    : runner(runner), threadId(tid), blockId(block_idx), cfg(launch)
+{
+}
+
+OrderKey
+KernelCtx::currentKey(uint16_t event_pc) const
+{
+    uint16_t f[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    int levels = loopDepth < 3 ? loopDepth : 3;
+    for (int i = 0; i < levels; ++i) {
+        f[2 * i] = uint16_t(loopStack[i] >> 16);
+        f[2 * i + 1] = uint16_t(loopStack[i]);
+    }
+    f[2 * levels] = event_pc;
+
+    OrderKey k;
+    k.hi = (uint64_t(f[0]) << 48) | (uint64_t(f[1]) << 32) |
+           (uint64_t(f[2]) << 16) | uint64_t(f[3]);
+    k.lo = (uint64_t(f[4]) << 48) | (uint64_t(f[5]) << 32) |
+           (uint64_t(f[6]) << 16) | uint64_t(f[7]);
+    return k;
+}
+
+void
+KernelCtx::pushLoop(uint16_t pc, uint32_t iter)
+{
+    if (loopDepth >= 8)
+        fatal("LoopIter nesting deeper than 8");
+    uint32_t it = iter + 1;
+    if (it > 0xffff)
+        it = 0xffff;
+    loopStack[loopDepth++] = (uint32_t(pc) << 16) | it;
+}
+
+void
+KernelCtx::popLoop()
+{
+    if (loopDepth <= 0)
+        panic("LoopIter pop without push");
+    --loopDepth;
+}
+
+void
+KernelCtx::record(GOp op, Space space, uint64_t addr, uint32_t size,
+                  const std::source_location &loc, uint32_t count)
+{
+    OrderKey key = currentKey(packPc(loc));
+    if ((op == GOp::IntAlu || op == GOp::FpAlu) && !events.empty()) {
+        GEvent &last = events.back();
+        if (last.op == op && last.key == key) {
+            last.count += count;
+            return;
+        }
+    }
+    if (runner->eventBudgetUsed + events.size() > maxEventsPerLaunch)
+        fatal("kernel trace exceeds ", maxEventsPerLaunch,
+              " events; reduce the problem size");
+    GEvent e;
+    e.key = key;
+    e.addr = addr;
+    e.size = size;
+    e.count = count;
+    e.op = op;
+    e.space = space;
+    events.push_back(e);
+}
+
+void
+KernelCtx::sync(std::source_location loc)
+{
+    record(GOp::Sync, Space::None, 0, 0, loc);
+    runner->barrier(threadId);
+}
+
+void *
+KernelCtx::sharedAlloc(size_t bytes, size_t align, uint64_t &base_addr)
+{
+    return runner->sharedAlloc(sharedCursor, bytes, align, base_addr);
+}
+
+KernelRecording
+recordKernel(const LaunchConfig &launch, const Kernel &kernel)
+{
+    if (launch.gridDim < 1 || launch.blockDim < 1)
+        fatal("recordKernel: invalid launch geometry");
+
+    KernelRecording rec;
+    rec.launch = launch;
+    rec.blocks.reserve(launch.gridDim);
+    uint64_t budget = 0;
+    for (int b = 0; b < launch.gridDim; ++b) {
+        BlockRunner runner(launch, kernel, b);
+        runner.eventBudgetUsed = budget;
+        rec.blocks.push_back(runner.run());
+        budget = runner.eventBudgetUsed;
+    }
+    return rec;
+}
+
+uint64_t
+KernelRecording::threadInstructions() const
+{
+    uint64_t n = 0;
+    for (const auto &block : blocks)
+        for (const auto &lane : block.lanes)
+            for (const auto &e : lane)
+                n += e.op == GOp::Sync ? 1 : e.count;
+    return n;
+}
+
+std::vector<uint64_t>
+KernelRecording::memOpsBySpace() const
+{
+    std::vector<uint64_t> out(size_t(Space::Local) + 1, 0);
+    for (const auto &block : blocks) {
+        for (const auto &lane : block.lanes) {
+            for (const auto &e : lane) {
+                if (e.op == GOp::Load || e.op == GOp::Store)
+                    out[size_t(e.space)] += 1;
+            }
+        }
+    }
+    return out;
+}
+
+uint64_t
+LaunchSequence::threadInstructions() const
+{
+    uint64_t n = 0;
+    for (const auto &l : launches)
+        n += l.threadInstructions();
+    return n;
+}
+
+std::vector<uint64_t>
+LaunchSequence::memOpsBySpace() const
+{
+    std::vector<uint64_t> out(size_t(Space::Local) + 1, 0);
+    for (const auto &l : launches) {
+        auto v = l.memOpsBySpace();
+        for (size_t i = 0; i < out.size(); ++i)
+            out[i] += v[i];
+    }
+    return out;
+}
+
+const char *
+spaceName(Space s)
+{
+    switch (s) {
+      case Space::Global:
+        return "global";
+      case Space::Shared:
+        return "shared";
+      case Space::Const:
+        return "const";
+      case Space::Tex:
+        return "tex";
+      case Space::Param:
+        return "param";
+      case Space::Local:
+        return "local";
+      default:
+        return "none";
+    }
+}
+
+} // namespace gpusim
+} // namespace rodinia

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Kernel trace recorder.
+ *
+ * Executes a kernel's real computation thread-by-thread and records
+ * per-lane dynamic instruction traces. Threads of one block run as
+ * cooperatively scheduled fibers so that __syncthreads() has real
+ * barrier semantics: all threads of the block complete the current
+ * barrier phase (including their shared-memory writes) before any
+ * thread starts the next phase, exactly as a data-race-free CUDA
+ * kernel requires.
+ */
+
+#ifndef RODINIA_GPUSIM_RECORDER_HH
+#define RODINIA_GPUSIM_RECORDER_HH
+
+#include "gpusim/kernel.hh"
+#include "gpusim/types.hh"
+
+namespace rodinia {
+namespace gpusim {
+
+/**
+ * Record one kernel launch.
+ *
+ * Blocks execute sequentially (deterministically); within a block,
+ * threads are fibers scheduled in thread-id order between barriers.
+ *
+ * @param launch grid/block geometry
+ * @param kernel per-thread kernel function
+ */
+KernelRecording recordKernel(const LaunchConfig &launch,
+                             const Kernel &kernel);
+
+/**
+ * A sequence of dependent kernel launches (iterative applications
+ * launch the same kernel many times with a global synchronization
+ * between launches).
+ */
+struct LaunchSequence
+{
+    std::vector<KernelRecording> launches;
+
+    /** Append one more recorded launch. */
+    void
+    add(KernelRecording rec)
+    {
+        launches.push_back(std::move(rec));
+    }
+
+    uint64_t threadInstructions() const;
+    std::vector<uint64_t> memOpsBySpace() const;
+};
+
+} // namespace gpusim
+} // namespace rodinia
+
+#endif // RODINIA_GPUSIM_RECORDER_HH

@@ -1,0 +1,149 @@
+#include "gpusim/replay.hh"
+
+#include "gpusim/recorder.hh"
+#include "support/logging.hh"
+
+namespace rodinia {
+namespace gpusim {
+
+WarpReplayer::WarpReplayer(const BlockRecord &block, int warp_start,
+                           int warp_size)
+    : block(&block), start(warp_start)
+{
+    lanes = block.blockDim - warp_start;
+    if (lanes > warp_size)
+        lanes = warp_size;
+    if (lanes < 0)
+        lanes = 0;
+    remaining = 0;
+    for (int l = 0; l < lanes; ++l)
+        remaining += int(block.lanes[start + l].size());
+}
+
+bool
+WarpReplayer::next(WarpInst &out)
+{
+    if (remaining == 0)
+        return false;
+
+    // Find the minimum order key among the lanes' next events.
+    const GEvent *min_ev = nullptr;
+    for (int l = 0; l < lanes; ++l) {
+        const auto &trace = block->lanes[start + l];
+        if (cursor[l] >= trace.size())
+            continue;
+        const GEvent &e = trace[cursor[l]];
+        if (!min_ev || e.key < min_ev->key)
+            min_ev = &e;
+    }
+    if (!min_ev)
+        panic("WarpReplayer: remaining > 0 but no lane has events");
+
+    out.op = min_ev->op;
+    out.space = min_ev->space;
+    out.size = min_ev->size;
+    out.activeMask = 0;
+    out.count = 1;
+
+    // Gather every lane sitting at the same key and same operation.
+    for (int l = 0; l < lanes; ++l) {
+        const auto &trace = block->lanes[start + l];
+        if (cursor[l] >= trace.size())
+            continue;
+        const GEvent &e = trace[cursor[l]];
+        if (!(e.key == min_ev->key) || e.op != min_ev->op ||
+            e.space != min_ev->space) {
+            continue;
+        }
+        out.activeMask |= 1u << l;
+        out.addrs[l] = e.addr;
+        if (e.count > out.count)
+            out.count = e.count;
+        ++cursor[l];
+        --remaining;
+    }
+    return true;
+}
+
+double
+TraceStats::avgWarpOccupancy() const
+{
+    if (!warpInstructions)
+        return 0.0;
+    return double(threadInstructions) / double(warpInstructions);
+}
+
+std::array<double, 4>
+TraceStats::occupancyFractions() const
+{
+    std::array<double, 4> out{};
+    uint64_t total = 0;
+    for (auto b : occupancyBuckets)
+        total += b;
+    if (!total)
+        return out;
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = double(occupancyBuckets[i]) / double(total);
+    return out;
+}
+
+std::array<double, 7>
+TraceStats::memOpFractions() const
+{
+    std::array<double, 7> out{};
+    uint64_t total = 0;
+    for (auto m : memOps)
+        total += m;
+    if (!total)
+        return out;
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = double(memOps[i]) / double(total);
+    return out;
+}
+
+namespace {
+
+void
+accumulate(TraceStats &stats, const KernelRecording &rec, int warp_size)
+{
+    for (const auto &block : rec.blocks) {
+        for (int w = 0; w < warpsPerBlock(block.blockDim, warp_size); ++w) {
+            WarpReplayer rep(block, w * warp_size, warp_size);
+            WarpInst inst;
+            while (rep.next(inst)) {
+                int active = inst.activeLanes();
+                stats.warpInstructions += inst.count;
+                stats.threadInstructions +=
+                    uint64_t(active) * inst.count;
+                int bucket = (active - 1) / 8;
+                if (bucket > 3)
+                    bucket = 3;
+                stats.occupancyBuckets[bucket] += inst.count;
+                if (inst.op == GOp::Load || inst.op == GOp::Store)
+                    stats.memOps[size_t(inst.space)] += active;
+            }
+        }
+    }
+}
+
+} // namespace
+
+TraceStats
+analyzeTrace(const KernelRecording &rec, int warp_size)
+{
+    TraceStats stats;
+    accumulate(stats, rec, warp_size);
+    return stats;
+}
+
+TraceStats
+analyzeTrace(const LaunchSequence &seq, int warp_size)
+{
+    TraceStats stats;
+    for (const auto &rec : seq.launches)
+        accumulate(stats, rec, warp_size);
+    return stats;
+}
+
+} // namespace gpusim
+} // namespace rodinia

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * SIMT warp replay: merges per-lane traces into warp instructions.
+ *
+ * The replayer walks the 32 lanes of a warp in lockstep: at each
+ * step it finds the minimum execution-order key among the lanes'
+ * next events and issues one warp instruction covering exactly the
+ * lanes sitting at that key. Divergent branches therefore split the
+ * warp into serialized groups (smaller active masks), and lanes
+ * reconverge as soon as their keys match again — the behavior of a
+ * reconvergence-stack SIMT pipeline, including loop-level divergence
+ * thanks to LoopIter's per-iteration keys.
+ */
+
+#ifndef RODINIA_GPUSIM_REPLAY_HH
+#define RODINIA_GPUSIM_REPLAY_HH
+
+#include <array>
+#include <cstdint>
+
+#include "gpusim/types.hh"
+
+namespace rodinia {
+namespace gpusim {
+
+/** One warp-level instruction reconstructed from lane traces. */
+struct WarpInst
+{
+    GOp op = GOp::IntAlu;
+    Space space = Space::None;
+    uint32_t activeMask = 0;
+    uint32_t count = 1;  //!< serialized repeat count (batched ALU)
+    uint32_t size = 0;   //!< per-lane access size for memory ops
+    std::array<uint64_t, 32> addrs{}; //!< per-lane addresses (mem ops)
+
+    int activeLanes() const { return __builtin_popcount(activeMask); }
+};
+
+/** Replays one warp of a recorded block as warp instructions. */
+class WarpReplayer
+{
+  public:
+    /**
+     * @param block recorded block
+     * @param warp_start first lane's thread index within the block
+     * @param warp_size lanes per warp (threads beyond blockDim are
+     *        simply absent)
+     */
+    WarpReplayer(const BlockRecord &block, int warp_start, int warp_size);
+
+    /** Produce the next warp instruction; false when exhausted. */
+    bool next(WarpInst &out);
+
+    /** Total warp instructions remaining untouched by next(). */
+    bool done() const { return remaining == 0; }
+
+  private:
+    const BlockRecord *block;
+    int start;
+    int lanes;
+    std::array<uint32_t, 32> cursor{};
+    int remaining;
+};
+
+/** Number of warps needed for a block of the given size. */
+inline int
+warpsPerBlock(int block_dim, int warp_size)
+{
+    return (block_dim + warp_size - 1) / warp_size;
+}
+
+/** Warp-level trace statistics, independent of any timing model. */
+struct TraceStats
+{
+    uint64_t warpInstructions = 0;
+    uint64_t threadInstructions = 0;
+    /** Warp instructions by active-lane bucket: 1-8/9-16/17-24/25-32. */
+    std::array<uint64_t, 4> occupancyBuckets{};
+    /** Thread-level memory operations by Space. */
+    std::array<uint64_t, 7> memOps{};
+
+    /** Average active threads over all issued warp instructions. */
+    double avgWarpOccupancy() const;
+    /** Fraction of warp instructions in each occupancy bucket. */
+    std::array<double, 4> occupancyFractions() const;
+    /** Fraction of memory ops in each space. */
+    std::array<double, 7> memOpFractions() const;
+};
+
+/** Compute trace statistics for a whole recording. */
+TraceStats analyzeTrace(const KernelRecording &rec, int warp_size = 32);
+
+/** Aggregate trace statistics over a launch sequence. */
+TraceStats analyzeTrace(const struct LaunchSequence &seq,
+                        int warp_size = 32);
+
+} // namespace gpusim
+} // namespace rodinia
+
+#endif // RODINIA_GPUSIM_REPLAY_HH

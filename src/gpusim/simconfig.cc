@@ -1,0 +1,58 @@
+#include "gpusim/simconfig.hh"
+
+namespace rodinia {
+namespace gpusim {
+
+SimConfig
+SimConfig::gpgpusimDefault()
+{
+    return SimConfig{};
+}
+
+SimConfig
+SimConfig::shaders(int num_sms)
+{
+    SimConfig cfg;
+    cfg.numSms = num_sms;
+    return cfg;
+}
+
+SimConfig
+SimConfig::gtx280()
+{
+    SimConfig cfg;
+    cfg.numSms = 30;
+    cfg.coreClockGhz = 1.3;
+    cfg.memClockGhz = 2.2;
+    cfg.sharedMemPerSm = 16 * 1024;
+    cfg.numChannels = 8;
+    cfg.l1Enabled = false;
+    cfg.l2Enabled = false;
+    return cfg;
+}
+
+SimConfig
+SimConfig::gtx480(bool l1_bias)
+{
+    SimConfig cfg;
+    cfg.numSms = 15;
+    cfg.coreClockGhz = 1.4;
+    cfg.memClockGhz = 3.6;
+    cfg.maxThreadsPerSm = 1536;
+    cfg.regFileSize = 32768;
+    cfg.numChannels = 6;
+    cfg.l1Enabled = true;
+    cfg.l2Enabled = true;
+    cfg.l2Bytes = 768 * 1024;
+    if (l1_bias) {
+        cfg.l1Bytes = 48 * 1024;
+        cfg.sharedMemPerSm = 16 * 1024;
+    } else {
+        cfg.l1Bytes = 16 * 1024;
+        cfg.sharedMemPerSm = 48 * 1024;
+    }
+    return cfg;
+}
+
+} // namespace gpusim
+} // namespace rodinia

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Small set-associative LRU cache used for the GPU's texture,
+ * constant, L1 and L2 caches. Tracks hits and misses only — the
+ * timing model turns misses into memory-channel transactions.
+ */
+
+#ifndef RODINIA_GPUSIM_SIMPLECACHE_HH
+#define RODINIA_GPUSIM_SIMPLECACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rodinia {
+namespace gpusim {
+
+/** Set-associative LRU lookup cache (no data, no coherence). */
+class SimpleCache
+{
+  public:
+    SimpleCache(uint64_t size_bytes, int assoc, int line_bytes);
+
+    /** Look up `addr`; allocate on miss. Returns true on hit. */
+    bool access(uint64_t addr);
+
+    uint64_t hits() const { return nHits; }
+    uint64_t misses() const { return nMisses; }
+    int lineBytes() const { return line; }
+
+  private:
+    struct Entry
+    {
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    int assoc;
+    int line;
+    uint64_t numSets;
+    std::vector<Entry> entries;
+    uint64_t clock = 0;
+    uint64_t nHits = 0;
+    uint64_t nMisses = 0;
+};
+
+} // namespace gpusim
+} // namespace rodinia
+
+#endif // RODINIA_GPUSIM_SIMPLECACHE_HH

@@ -1,0 +1,523 @@
+#include "gpusim/timing.hh"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "gpusim/replay.hh"
+#include "gpusim/simplecache.hh"
+#include "support/logging.hh"
+
+namespace rodinia {
+namespace gpusim {
+
+void
+KernelStats::add(const KernelStats &o)
+{
+    cycles += o.cycles;
+    threadInstructions += o.threadInstructions;
+    warpInstructions += o.warpInstructions;
+    for (size_t i = 0; i < occupancyBuckets.size(); ++i)
+        occupancyBuckets[i] += o.occupancyBuckets[i];
+    for (size_t i = 0; i < memOps.size(); ++i)
+        memOps[i] += o.memOps[i];
+    dramTransactions += o.dramTransactions;
+    dramBytes += o.dramBytes;
+    channelBusyCycles += o.channelBusyCycles;
+    bankConflictExtraCycles += o.bankConflictExtraCycles;
+    l1Hits += o.l1Hits;
+    l1Misses += o.l1Misses;
+    l2Hits += o.l2Hits;
+    l2Misses += o.l2Misses;
+    texHits += o.texHits;
+    texMisses += o.texMisses;
+    constHits += o.constHits;
+    constMisses += o.constMisses;
+    numChannels = o.numChannels;
+    coreClockGhz = o.coreClockGhz;
+}
+
+namespace {
+
+struct Cta;
+
+/** One resident warp: its replay cursor and pending instruction. */
+struct Warp
+{
+    Warp(const BlockRecord &block, int start, int warp_size)
+        : rep(block, start, warp_size)
+    {
+    }
+
+    WarpReplayer rep;
+    WarpInst inst;
+    bool hasInst = false;
+    Cta *cta = nullptr;
+};
+
+/** One resident thread block and its barrier bookkeeping. */
+struct Cta
+{
+    int blockDim = 0;
+    uint64_t sharedBytes = 0;
+    int smIndex = -1;
+    std::vector<std::unique_ptr<Warp>> warps;
+    int aliveWarps = 0;
+    int arrived = 0;
+    std::vector<Warp *> barrierWaiters;
+};
+
+struct WaitEntry
+{
+    uint64_t wake;
+    uint64_t seq;
+    Warp *warp;
+
+    bool
+    operator>(const WaitEntry &o) const
+    {
+        return wake != o.wake ? wake > o.wake : seq > o.seq;
+    }
+};
+
+/** Per-SM issue state. */
+struct Sm
+{
+    std::deque<Warp *> ready;
+    std::priority_queue<WaitEntry, std::vector<WaitEntry>,
+                        std::greater<WaitEntry>>
+        waiting;
+    uint64_t freeCycle = 0;
+    std::vector<std::unique_ptr<Cta>> ctas;
+    int usedCtas = 0;
+    int usedThreads = 0;
+    int usedRegs = 0;
+    uint64_t usedShared = 0;
+    std::unique_ptr<SimpleCache> l1;
+    std::unique_ptr<SimpleCache> tex;
+    std::unique_ptr<SimpleCache> cst;
+};
+
+/** Single-launch simulation engine. */
+class Engine
+{
+  public:
+    Engine(const SimConfig &cfg, const KernelRecording &rec)
+        : cfg(cfg), rec(rec)
+    {
+    }
+
+    KernelStats
+    run()
+    {
+        stats.numChannels = cfg.numChannels;
+        stats.coreClockGhz = cfg.coreClockGhz;
+
+        sms.resize(cfg.numSms);
+        for (auto &sm : sms) {
+            if (cfg.l1Enabled)
+                sm.l1 = std::make_unique<SimpleCache>(cfg.l1Bytes, 8,
+                                                      cfg.l1LineBytes);
+            sm.tex = std::make_unique<SimpleCache>(cfg.texCacheBytes, 8, 64);
+            sm.cst = std::make_unique<SimpleCache>(cfg.constCacheBytes, 8,
+                                                   64);
+        }
+        if (cfg.l2Enabled)
+            l2 = std::make_unique<SimpleCache>(cfg.l2Bytes, 16,
+                                               cfg.l2LineBytes);
+        chFree.assign(cfg.numChannels, 0);
+
+        blocksRemaining = int(rec.blocks.size());
+        for (int s = 0; s < cfg.numSms && nextBlock < rec.blocks.size();
+             ++s)
+            placeBlocks(s, 0);
+
+        uint64_t cycle = 0;
+        while (blocksRemaining > 0) {
+            bool issued = false;
+            for (int s = 0; s < cfg.numSms; ++s) {
+                Sm &sm = sms[s];
+                while (!sm.waiting.empty() &&
+                       sm.waiting.top().wake <= cycle) {
+                    sm.ready.push_back(sm.waiting.top().warp);
+                    sm.waiting.pop();
+                }
+                if (cycle < sm.freeCycle || sm.ready.empty())
+                    continue;
+                Warp *w = sm.ready.front();
+                sm.ready.pop_front();
+                issue(s, *w, cycle);
+                issued = true;
+                if (blocksRemaining == 0)
+                    break;
+            }
+            if (blocksRemaining == 0)
+                break;
+            if (issued) {
+                ++cycle;
+                continue;
+            }
+            // Nothing issued: jump to the next interesting cycle.
+            uint64_t next = ~0ULL;
+            for (auto &sm : sms) {
+                if (!sm.ready.empty())
+                    next = std::min(next, std::max(cycle + 1,
+                                                   sm.freeCycle));
+                if (!sm.waiting.empty())
+                    next = std::min(next,
+                                    std::max(cycle + 1,
+                                             sm.waiting.top().wake));
+            }
+            if (next == ~0ULL)
+                panic("gpusim deadlock: no runnable warps but ",
+                      blocksRemaining, " blocks remain");
+            cycle = next;
+        }
+
+        stats.cycles = std::max(cycle, simEnd);
+        return stats;
+    }
+
+  private:
+    bool
+    canFit(const Sm &sm, const BlockRecord &block) const
+    {
+        if (sm.usedCtas == 0)
+            return true; // always allow one CTA to avoid deadlock
+        return sm.usedCtas < cfg.maxCtasPerSm &&
+               sm.usedThreads + block.blockDim <= cfg.maxThreadsPerSm &&
+               sm.usedShared + block.sharedBytes <= cfg.sharedMemPerSm &&
+               sm.usedRegs + block.blockDim * cfg.regsPerThread <=
+                   cfg.regFileSize;
+    }
+
+    void
+    placeBlocks(int sm_index, uint64_t cycle)
+    {
+        Sm &sm = sms[sm_index];
+        while (nextBlock < rec.blocks.size() &&
+               canFit(sm, rec.blocks[nextBlock])) {
+            const BlockRecord &block = rec.blocks[nextBlock];
+            ++nextBlock;
+
+            auto cta = std::make_unique<Cta>();
+            cta->blockDim = block.blockDim;
+            cta->sharedBytes = block.sharedBytes;
+            cta->smIndex = sm_index;
+            int warps = warpsPerBlock(block.blockDim, cfg.warpSize);
+            for (int wi = 0; wi < warps; ++wi) {
+                auto warp = std::make_unique<Warp>(
+                    block, wi * cfg.warpSize, cfg.warpSize);
+                warp->cta = cta.get();
+                warp->hasInst = warp->rep.next(warp->inst);
+                if (warp->hasInst) {
+                    ++cta->aliveWarps;
+                    sm.waiting.push({cycle + 1, seq++, warp.get()});
+                }
+                cta->warps.push_back(std::move(warp));
+            }
+
+            if (cta->aliveWarps == 0) {
+                // Block recorded nothing; it completes immediately.
+                --blocksRemaining;
+                continue;
+            }
+
+            sm.usedCtas += 1;
+            sm.usedThreads += block.blockDim;
+            sm.usedShared += block.sharedBytes;
+            sm.usedRegs += block.blockDim * cfg.regsPerThread;
+            sm.ctas.push_back(std::move(cta));
+        }
+    }
+
+    /** One global-memory transaction; returns its completion cycle. */
+    uint64_t
+    dramAccess(Sm &sm, uint64_t cycle, uint64_t addr, bool is_write,
+               bool use_l1)
+    {
+        if (cfg.l1Enabled && use_l1 && !is_write) {
+            if (sm.l1->access(addr)) {
+                ++stats.l1Hits;
+                return cycle + cfg.l1HitLatency;
+            }
+            ++stats.l1Misses;
+        }
+        if (l2) {
+            if (l2->access(addr)) {
+                ++stats.l2Hits;
+                return cycle + cfg.l2HitLatency;
+            }
+            ++stats.l2Misses;
+        }
+        int ch = int((addr >> 8) % uint64_t(cfg.numChannels));
+        uint64_t svc = cfg.channelServiceCycles();
+        uint64_t start = std::max(cycle, chFree[ch]);
+        chFree[ch] = start + svc;
+        stats.channelBusyCycles += svc;
+        stats.dramBytes += cfg.coalesceBytes;
+        ++stats.dramTransactions;
+        return start + svc + cfg.gmemLatencyCycles;
+    }
+
+    /** Distinct coalesced segment addresses of a memory warp inst. */
+    void
+    coalesce(const WarpInst &inst, std::vector<uint64_t> &out) const
+    {
+        out.clear();
+        for (int l = 0; l < 32; ++l) {
+            if (!(inst.activeMask & (1u << l)))
+                continue;
+            uint64_t first = inst.addrs[l] / cfg.coalesceBytes;
+            uint64_t last = (inst.addrs[l] + std::max(inst.size, 1u) - 1) /
+                            cfg.coalesceBytes;
+            for (uint64_t s = first; s <= last; ++s) {
+                uint64_t seg = s * cfg.coalesceBytes;
+                if (std::find(out.begin(), out.end(), seg) == out.end())
+                    out.push_back(seg);
+            }
+        }
+    }
+
+    /** Shared-memory bank-conflict serialization factor. */
+    int
+    bankConflictFactor(const WarpInst &inst) const
+    {
+        if (!cfg.bankConflictsEnabled)
+            return 1;
+        // Words mapping to the same bank serialize; identical words
+        // broadcast. Count distinct words per bank.
+        int factor = 1;
+        std::array<std::vector<uint64_t>, 32> perBank;
+        for (int l = 0; l < 32; ++l) {
+            if (!(inst.activeMask & (1u << l)))
+                continue;
+            uint64_t word = inst.addrs[l] >> 2;
+            int bank = int(word % uint64_t(cfg.sharedBanks));
+            auto &v = perBank[bank];
+            if (std::find(v.begin(), v.end(), word) == v.end())
+                v.push_back(word);
+        }
+        for (const auto &v : perBank)
+            factor = std::max(factor, int(v.size()));
+        return factor;
+    }
+
+    void
+    finishWarp(int sm_index, Warp &w, uint64_t cycle)
+    {
+        Cta *cta = w.cta;
+        --cta->aliveWarps;
+        if (cta->aliveWarps > 0) {
+            // A warp ending can complete a barrier rendezvous.
+            if (cta->arrived == cta->aliveWarps && cta->arrived > 0)
+                releaseBarrier(sm_index, *cta, cycle);
+            return;
+        }
+
+        // CTA complete: free resources, pull in pending work.
+        Sm &sm = sms[sm_index];
+        sm.usedCtas -= 1;
+        sm.usedThreads -= cta->blockDim;
+        sm.usedShared -= cta->sharedBytes;
+        sm.usedRegs -= cta->blockDim * cfg.regsPerThread;
+        --blocksRemaining;
+        placeBlocks(sm_index, cycle);
+    }
+
+    void
+    releaseBarrier(int sm_index, Cta &cta, uint64_t cycle)
+    {
+        Sm &sm = sms[sm_index];
+        for (Warp *waiter : cta.barrierWaiters)
+            sm.waiting.push({cycle + barrierLatency, seq++, waiter});
+        cta.barrierWaiters.clear();
+        cta.arrived = 0;
+    }
+
+    void
+    issue(int sm_index, Warp &w, uint64_t cycle)
+    {
+        Sm &sm = sms[sm_index];
+        const WarpInst inst = w.inst;
+        const int active = inst.activeLanes();
+        const int issueC = cfg.warpIssueCycles();
+
+        // Commit statistics.
+        stats.warpInstructions += inst.count;
+        stats.threadInstructions += uint64_t(active) * inst.count;
+        int bucket = std::min((active - 1) / 8, 3);
+        stats.occupancyBuckets[bucket] += inst.count;
+
+        // Memory instructions carry implicit address-arithmetic
+        // instructions: commit them and occupy the issue slot.
+        uint64_t issue_done = cycle + issueC;
+        if (inst.op == GOp::Load || inst.op == GOp::Store) {
+            stats.memOps[size_t(inst.space)] += active;
+            uint64_t extra = uint64_t(cfg.addressAluPerMem);
+            if (extra) {
+                stats.warpInstructions += extra;
+                stats.threadInstructions += extra * uint64_t(active);
+                stats.occupancyBuckets[bucket] += extra;
+                issue_done = cycle + issueC * (1 + extra);
+            }
+        }
+
+        uint64_t wake = issue_done;
+        sm.freeCycle = issue_done;
+
+        switch (inst.op) {
+          case GOp::IntAlu:
+          case GOp::FpAlu:
+          case GOp::Branch:
+            sm.freeCycle = cycle + uint64_t(issueC) * inst.count;
+            wake = sm.freeCycle;
+            break;
+
+          case GOp::Sync: {
+            // Advance past the barrier, then park until release.
+            Cta *cta = w.cta;
+            w.hasInst = w.rep.next(w.inst);
+            if (!w.hasInst) {
+                finishWarp(sm_index, w, cycle);
+            } else {
+                cta->barrierWaiters.push_back(&w);
+                ++cta->arrived;
+                if (cta->arrived == cta->aliveWarps)
+                    releaseBarrier(sm_index, *cta, cycle);
+            }
+            simEnd = std::max(simEnd, cycle + issueC);
+            return;
+          }
+
+          case GOp::Load:
+          case GOp::Store:
+            switch (inst.space) {
+              case Space::Shared: {
+                int factor = bankConflictFactor(inst);
+                sm.freeCycle = issue_done + uint64_t(issueC) *
+                                                (factor - 1);
+                wake = sm.freeCycle;
+                stats.bankConflictExtraCycles +=
+                    uint64_t(issueC) * (factor - 1);
+                break;
+              }
+              case Space::Param:
+                break; // register-speed, always hits
+              case Space::Const: {
+                // Distinct words serialize on the constant cache.
+                scratch.clear();
+                for (int l = 0; l < 32; ++l) {
+                    if (!(inst.activeMask & (1u << l)))
+                        continue;
+                    uint64_t word = inst.addrs[l] >> 2;
+                    if (std::find(scratch.begin(), scratch.end(), word) ==
+                        scratch.end())
+                        scratch.push_back(word);
+                }
+                uint64_t done = issue_done + cfg.constHitLatency;
+                for (uint64_t word : scratch) {
+                    if (sm.cst->access(word << 2)) {
+                        ++stats.constHits;
+                    } else {
+                        ++stats.constMisses;
+                        done = std::max(done, dramAccess(sm, cycle,
+                                                         word << 2, false,
+                                                         false));
+                    }
+                }
+                sm.freeCycle =
+                    issue_done +
+                    uint64_t(issueC) *
+                        (std::max<size_t>(scratch.size(), 1) - 1);
+                wake = std::max(done, sm.freeCycle);
+                break;
+              }
+              case Space::Tex: {
+                coalesce(inst, scratch);
+                uint64_t done = issue_done + cfg.texHitLatency;
+                for (uint64_t seg : scratch) {
+                    if (sm.tex->access(seg)) {
+                        ++stats.texHits;
+                    } else {
+                        ++stats.texMisses;
+                        done = std::max(done, dramAccess(sm, cycle, seg,
+                                                         false, false));
+                    }
+                }
+                wake = done;
+                break;
+              }
+              case Space::Global:
+              case Space::Local:
+              default: {
+                coalesce(inst, scratch);
+                if (inst.op == GOp::Load) {
+                    uint64_t done = issue_done;
+                    for (uint64_t seg : scratch)
+                        done = std::max(done, dramAccess(sm, cycle, seg,
+                                                         false, true));
+                    wake = done;
+                } else {
+                    // Stores are buffered: consume bandwidth but do
+                    // not stall the warp.
+                    for (uint64_t seg : scratch)
+                        simEnd = std::max(simEnd,
+                                          dramAccess(sm, cycle, seg, true,
+                                                     true));
+                }
+                break;
+              }
+            }
+            break;
+        }
+
+        simEnd = std::max(simEnd, wake);
+        w.hasInst = w.rep.next(w.inst);
+        if (!w.hasInst) {
+            finishWarp(sm_index, w, cycle);
+            return;
+        }
+        sm.waiting.push({std::max(wake, cycle + 1), seq++, &w});
+    }
+
+    static constexpr uint64_t barrierLatency = 8;
+
+    const SimConfig &cfg;
+    const KernelRecording &rec;
+    KernelStats stats;
+    std::vector<Sm> sms;
+    std::unique_ptr<SimpleCache> l2;
+    std::vector<uint64_t> chFree;
+    std::vector<uint64_t> scratch;
+    size_t nextBlock = 0;
+    int blocksRemaining = 0;
+    uint64_t seq = 0;
+    uint64_t simEnd = 0;
+};
+
+} // namespace
+
+KernelStats
+TimingSim::simulate(const KernelRecording &rec) const
+{
+    Engine engine(cfg, rec);
+    return engine.run();
+}
+
+KernelStats
+TimingSim::simulate(const LaunchSequence &seq) const
+{
+    KernelStats total;
+    for (const auto &rec : seq.launches) {
+        KernelStats s = simulate(rec);
+        s.cycles += cfg.launchOverheadCycles;
+        total.add(s);
+    }
+    return total;
+}
+
+} // namespace gpusim
+} // namespace rodinia

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Cycle-level GPU timing model (the GPGPU-Sim analog).
+ *
+ * Replays a recorded kernel through a configurable many-core GPU:
+ * CTAs are placed onto SMs subject to thread/CTA/shared-memory/
+ * register limits; each SM issues at most one warp instruction per
+ * cycle from a round-robin-ish ready queue; memory instructions are
+ * coalesced into transactions that queue on the memory channels;
+ * shared-memory bank conflicts serialize issue; texture/constant
+ * caches, and (in Fermi mode) per-SM L1 plus a unified L2, filter
+ * traffic. Barriers synchronize the warps of a CTA.
+ *
+ * Outputs the statistics behind Figures 1-5 and Table III: IPC, warp
+ * occupancy, memory-space mix, DRAM bandwidth utilization, and cache
+ * hit rates.
+ */
+
+#ifndef RODINIA_GPUSIM_TIMING_HH
+#define RODINIA_GPUSIM_TIMING_HH
+
+#include <array>
+#include <cstdint>
+
+#include "gpusim/recorder.hh"
+#include "gpusim/simconfig.hh"
+#include "gpusim/types.hh"
+
+namespace rodinia {
+namespace gpusim {
+
+/** Statistics produced by one simulated kernel (or launch sequence). */
+struct KernelStats
+{
+    uint64_t cycles = 0;
+    uint64_t threadInstructions = 0;
+    uint64_t warpInstructions = 0;
+    std::array<uint64_t, 4> occupancyBuckets{};
+    std::array<uint64_t, 7> memOps{};
+
+    uint64_t dramTransactions = 0;
+    uint64_t dramBytes = 0;
+    uint64_t channelBusyCycles = 0;
+    uint64_t bankConflictExtraCycles = 0;
+
+    uint64_t l1Hits = 0, l1Misses = 0;
+    uint64_t l2Hits = 0, l2Misses = 0;
+    uint64_t texHits = 0, texMisses = 0;
+    uint64_t constHits = 0, constMisses = 0;
+
+    int numChannels = 0;
+    double coreClockGhz = 0.0;
+
+    /** Committed thread instructions per cycle. */
+    double
+    ipc() const
+    {
+        return cycles ? double(threadInstructions) / double(cycles) : 0.0;
+    }
+
+    /** Fraction of total channel-cycles spent transferring data. */
+    double
+    bwUtilization() const
+    {
+        if (!cycles || !numChannels)
+            return 0.0;
+        return double(channelBusyCycles) /
+               (double(cycles) * double(numChannels));
+    }
+
+    /** Wall-clock kernel time in microseconds at the core clock. */
+    double
+    timeUs() const
+    {
+        return coreClockGhz > 0.0
+                   ? double(cycles) / (coreClockGhz * 1e3)
+                   : 0.0;
+    }
+
+    /** Aggregate another launch's stats (cycles accumulate). */
+    void add(const KernelStats &o);
+};
+
+/** Simulates recorded kernels under one architectural configuration. */
+class TimingSim
+{
+  public:
+    explicit TimingSim(const SimConfig &config) : cfg(config) {}
+
+    /** Simulate one kernel launch. */
+    KernelStats simulate(const KernelRecording &rec) const;
+
+    /**
+     * Simulate a sequence of dependent launches; cycle counts add up
+     * and a per-launch overhead models the driver launch cost.
+     */
+    KernelStats simulate(const LaunchSequence &seq) const;
+
+    const SimConfig &config() const { return cfg; }
+
+  private:
+    SimConfig cfg;
+};
+
+} // namespace gpusim
+} // namespace rodinia
+
+#endif // RODINIA_GPUSIM_TIMING_HH

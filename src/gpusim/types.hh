@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Core types for the trace-driven SIMT GPU simulator (the GPGPU-Sim
+ * analog used for Figures 1-5, Table III, and the Plackett-Burman
+ * study).
+ *
+ * Kernels execute their real computation per thread while recording a
+ * trace of dynamic instructions. Each event carries a 128-bit order
+ * key encoding the loop-iteration path plus the source-location PC;
+ * comparing keys lexicographically reproduces program execution
+ * order, which lets the warp replayer model SIMT reconvergence by
+ * always executing the minimum-key lanes together.
+ */
+
+#ifndef RODINIA_GPUSIM_TYPES_HH
+#define RODINIA_GPUSIM_TYPES_HH
+
+#include <cstdint>
+#include <source_location>
+#include <vector>
+
+namespace rodinia {
+namespace gpusim {
+
+/** Dynamic instruction categories recorded by kernels. */
+enum class GOp : uint8_t {
+    IntAlu,
+    FpAlu,
+    Branch,
+    Load,
+    Store,
+    Sync,
+};
+
+/** GPU memory spaces (Figure 2's breakdown). */
+enum class Space : uint8_t {
+    None,
+    Global,
+    Shared,
+    Const,
+    Tex,
+    Param,
+    Local,
+};
+
+/** Printable name for a memory space. */
+const char *spaceName(Space s);
+
+/**
+ * 128-bit execution-order key: up to three (pc, iteration) loop
+ * levels followed by the event PC, packed most-significant-first so
+ * integer comparison equals lexicographic program-order comparison.
+ */
+struct OrderKey
+{
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+
+    bool
+    operator==(const OrderKey &o) const
+    {
+        return hi == o.hi && lo == o.lo;
+    }
+    bool
+    operator<(const OrderKey &o) const
+    {
+        return hi != o.hi ? hi < o.hi : lo < o.lo;
+    }
+};
+
+/** Compress a source location into a 16-bit PC. */
+inline uint16_t
+packPc(const std::source_location &loc)
+{
+    uint32_t line = loc.line() > 1023 ? 1023 : loc.line();
+    uint32_t col = loc.column() > 63 ? 63 : loc.column();
+    uint16_t pc = uint16_t((line << 6) | col);
+    return pc ? pc : 1;
+}
+
+/** One recorded dynamic instruction of one GPU thread. */
+struct GEvent
+{
+    OrderKey key;
+    uint64_t addr = 0;
+    uint32_t size = 0;
+    uint32_t count = 1; //!< repeat count for batched ALU work
+    GOp op = GOp::IntAlu;
+    Space space = Space::None;
+};
+
+/** Kernel launch geometry (1-D grid and block, as Rodinia uses). */
+struct LaunchConfig
+{
+    int gridDim = 1;
+    int blockDim = 32;
+
+    int totalThreads() const { return gridDim * blockDim; }
+};
+
+/** Recording of one thread block: one event trace per thread. */
+struct BlockRecord
+{
+    std::vector<std::vector<GEvent>> lanes;
+    uint64_t sharedBytes = 0;
+    int blockDim = 0;
+};
+
+/** Full recording of one kernel launch. */
+struct KernelRecording
+{
+    LaunchConfig launch;
+    std::vector<BlockRecord> blocks;
+
+    /** Total dynamic thread instructions across all blocks. */
+    uint64_t threadInstructions() const;
+
+    /** Total dynamic memory instructions by space. */
+    std::vector<uint64_t> memOpsBySpace() const;
+};
+
+} // namespace gpusim
+} // namespace rodinia
+
+#endif // RODINIA_GPUSIM_TYPES_HH

@@ -1,0 +1,286 @@
+#include "stats/cluster.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace rodinia {
+namespace stats {
+
+namespace {
+
+/** Recursive helper producing leaves in display order. */
+void
+collectLeaves(const Linkage &lk, int node, std::vector<int> &out)
+{
+    if (node < lk.nLeaves) {
+        out.push_back(node);
+        return;
+    }
+    const Merge &m = lk.merges[node - lk.nLeaves];
+    collectLeaves(lk, m.a, out);
+    collectLeaves(lk, m.b, out);
+}
+
+} // namespace
+
+std::vector<int>
+Linkage::leafOrder() const
+{
+    std::vector<int> out;
+    if (nLeaves == 0)
+        return out;
+    if (merges.empty()) {
+        out.push_back(0);
+        return out;
+    }
+    collectLeaves(*this, nLeaves + int(merges.size()) - 1, out);
+    return out;
+}
+
+std::vector<int>
+Linkage::cut(int k) const
+{
+    if (k < 1 || k > nLeaves)
+        fatal("Linkage::cut: k must be in [1, nLeaves]");
+
+    // Undo the last k - 1 merges: the roots of the remaining forest
+    // are the clusters. Walk merges in order, tracking representative
+    // sets via union-find over the first nMerges - (k - 1) merges.
+    int keep = int(merges.size()) - (k - 1);
+    std::vector<int> parent(nLeaves + merges.size());
+    for (size_t i = 0; i < parent.size(); ++i)
+        parent[i] = int(i);
+    std::function<int(int)> find = [&](int x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    for (int i = 0; i < keep; ++i) {
+        int id = nLeaves + i;
+        parent[find(merges[i].a)] = id;
+        parent[find(merges[i].b)] = id;
+    }
+
+    std::vector<int> labels(nLeaves, -1);
+    int next = 0;
+    std::vector<int> rootLabel(parent.size(), -1);
+    for (int leaf = 0; leaf < nLeaves; ++leaf) {
+        int root = find(leaf);
+        if (rootLabel[root] < 0)
+            rootLabel[root] = next++;
+        labels[leaf] = rootLabel[root];
+    }
+    return labels;
+}
+
+double
+Linkage::copheneticDistance(int leaf_a, int leaf_b) const
+{
+    if (leaf_a == leaf_b)
+        return 0.0;
+    // Track the cluster containing each leaf through the merges; the
+    // first merge joining both clusters sets the cophenetic distance.
+    int ca = leaf_a;
+    int cb = leaf_b;
+    for (size_t i = 0; i < merges.size(); ++i) {
+        int id = nLeaves + int(i);
+        const Merge &m = merges[i];
+        bool joins_a = (m.a == ca || m.b == ca);
+        bool joins_b = (m.a == cb || m.b == cb);
+        if (joins_a && joins_b)
+            return m.dist;
+        if (joins_a)
+            ca = id;
+        if (joins_b)
+            cb = id;
+    }
+    panic("copheneticDistance: leaves never merged");
+}
+
+Matrix
+pairwiseEuclidean(const Matrix &points)
+{
+    size_t n = points.rows();
+    Matrix d(n, n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+            double acc = 0.0;
+            for (size_t c = 0; c < points.cols(); ++c) {
+                double diff = points.at(i, c) - points.at(j, c);
+                acc += diff * diff;
+            }
+            d.at(i, j) = d.at(j, i) = std::sqrt(acc);
+        }
+    }
+    return d;
+}
+
+Linkage
+hierarchicalCluster(const Matrix &points, LinkageMethod method)
+{
+    return hierarchicalClusterFromDistances(pairwiseEuclidean(points),
+                                            method);
+}
+
+Linkage
+hierarchicalClusterFromDistances(const Matrix &dist, LinkageMethod method)
+{
+    if (dist.rows() != dist.cols())
+        fatal("hierarchicalClusterFromDistances: non-square distances");
+    const int n = int(dist.rows());
+
+    Linkage lk;
+    lk.nLeaves = n;
+    if (n <= 1)
+        return lk;
+
+    // active[i]: current cluster id occupying slot i (or -1).
+    // size[i]: number of leaves in that cluster.
+    // d: working distance matrix over slots, updated Lance-Williams.
+    std::vector<int> active(n);
+    std::vector<int> size(n, 1);
+    Matrix d = dist;
+    for (int i = 0; i < n; ++i)
+        active[i] = i;
+    int alive = n;
+    int next_id = n;
+
+    while (alive > 1) {
+        // Find the closest active pair.
+        double best = std::numeric_limits<double>::infinity();
+        int bi = -1, bj = -1;
+        for (int i = 0; i < n; ++i) {
+            if (active[i] < 0)
+                continue;
+            for (int j = i + 1; j < n; ++j) {
+                if (active[j] < 0)
+                    continue;
+                if (d.at(i, j) < best) {
+                    best = d.at(i, j);
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+
+        lk.merges.push_back({active[bi], active[bj], best});
+
+        // Merge slot bj into slot bi, updating distances.
+        for (int k = 0; k < n; ++k) {
+            if (active[k] < 0 || k == bi || k == bj)
+                continue;
+            double dik = d.at(bi, k);
+            double djk = d.at(bj, k);
+            double nd;
+            switch (method) {
+              case LinkageMethod::Single:
+                nd = std::min(dik, djk);
+                break;
+              case LinkageMethod::Complete:
+                nd = std::max(dik, djk);
+                break;
+              case LinkageMethod::Average:
+              default:
+                nd = (dik * size[bi] + djk * size[bj]) /
+                     double(size[bi] + size[bj]);
+                break;
+            }
+            d.at(bi, k) = d.at(k, bi) = nd;
+        }
+        size[bi] += size[bj];
+        active[bi] = next_id++;
+        active[bj] = -1;
+        --alive;
+    }
+    return lk;
+}
+
+std::string
+renderDendrogram(const Linkage &linkage,
+                 const std::vector<std::string> &labels, int width)
+{
+    const int n = linkage.nLeaves;
+    if (int(labels.size()) != n)
+        fatal("renderDendrogram: need exactly one label per leaf");
+    if (n == 0)
+        return "";
+
+    size_t label_w = 0;
+    for (const auto &l : labels)
+        label_w = std::max(label_w, l.size());
+    label_w += 1;
+
+    double max_dist = 1e-12;
+    for (const auto &m : linkage.merges)
+        max_dist = std::max(max_dist, m.dist);
+
+    // Leaf rows in display order (one row per leaf).
+    auto order = linkage.leafOrder();
+    std::vector<int> rowOf(n, 0);
+    for (int i = 0; i < n; ++i)
+        rowOf[order[i]] = i;
+
+    std::vector<std::string> grid(n, std::string(label_w + width + 2, ' '));
+    for (int leaf = 0; leaf < n; ++leaf) {
+        const std::string &l = labels[leaf];
+        grid[rowOf[leaf]].replace(0, l.size(), l);
+    }
+
+    auto xcol = [&](double dist) {
+        int x = int(dist / max_dist * (width - 1) + 0.5);
+        return int(label_w) + std::clamp(x, 0, width - 1);
+    };
+
+    // Per-node display position: (row, column).
+    std::vector<std::pair<double, int>> pos(n + linkage.merges.size());
+    for (int leaf = 0; leaf < n; ++leaf)
+        pos[leaf] = {double(rowOf[leaf]), int(label_w)};
+
+    auto set = [&](int r, int c, char ch) {
+        if (r >= 0 && r < n && c >= 0 && c < int(grid[r].size())) {
+            // Preserve junctions: '+' wins over lines.
+            if (grid[r][c] == '+' && ch != '+')
+                return;
+            grid[r][c] = ch;
+        }
+    };
+
+    for (size_t i = 0; i < linkage.merges.size(); ++i) {
+        const Merge &m = linkage.merges[i];
+        int cx = xcol(m.dist);
+        auto [ra, xa] = pos[m.a];
+        auto [rb, xb] = pos[m.b];
+        int ira = int(ra + 0.5), irb = int(rb + 0.5);
+        for (int x = xa; x < cx; ++x)
+            set(ira, x, '-');
+        for (int x = xb; x < cx; ++x)
+            set(irb, x, '-');
+        int rlo = std::min(ira, irb), rhi = std::max(ira, irb);
+        for (int r = rlo; r <= rhi; ++r)
+            set(r, cx, '|');
+        set(ira, cx, '+');
+        set(irb, cx, '+');
+        pos[n + i] = {(ra + rb) / 2.0, cx};
+    }
+
+    std::ostringstream os;
+    for (const auto &row : grid) {
+        std::string trimmed = row;
+        while (!trimmed.empty() && trimmed.back() == ' ')
+            trimmed.pop_back();
+        os << trimmed << '\n';
+    }
+    os << std::string(label_w, ' ') << "0" << std::string(width - 8, ' ')
+       << "dist=" << int(max_dist * 100) / 100.0 << '\n';
+    return os.str();
+}
+
+} // namespace stats
+} // namespace rodinia

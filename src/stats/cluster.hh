@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Agglomerative hierarchical clustering and ASCII dendrograms.
+ *
+ * Implements the classical bottom-up clustering the paper uses via
+ * the MATLAB statistics toolbox: pairwise Euclidean distances between
+ * workload feature vectors, merged with a chosen linkage rule, and a
+ * dendrogram rendering equivalent to Figure 6.
+ */
+
+#ifndef RODINIA_STATS_CLUSTER_HH
+#define RODINIA_STATS_CLUSTER_HH
+
+#include <string>
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace rodinia {
+namespace stats {
+
+/** Cluster-merge rule (Lance-Williams family). */
+enum class LinkageMethod { Single, Complete, Average };
+
+/**
+ * One merge step: clusters `a` and `b` joined at `dist`.
+ *
+ * Cluster ids follow the scipy convention: leaves are 0..n-1, and the
+ * cluster produced by merge step i has id n + i.
+ */
+struct Merge
+{
+    int a;
+    int b;
+    double dist;
+};
+
+/** A full hierarchical clustering of n leaves (n - 1 merges). */
+struct Linkage
+{
+    int nLeaves = 0;
+    std::vector<Merge> merges;
+
+    /** Leaf indices in dendrogram display order. */
+    std::vector<int> leafOrder() const;
+
+    /**
+     * Flat clustering with exactly k clusters (undo the last k - 1
+     * merges). Returns a leaf-indexed cluster-label vector with
+     * labels in 0..k-1.
+     */
+    std::vector<int> cut(int k) const;
+
+    /** Cophenetic (merge) distance between two leaves. */
+    double copheneticDistance(int leaf_a, int leaf_b) const;
+};
+
+/** Pairwise Euclidean distance matrix between the rows of `points`. */
+Matrix pairwiseEuclidean(const Matrix &points);
+
+/**
+ * Agglomerative clustering of the rows of `points`.
+ *
+ * @param points observations-by-features matrix
+ * @param method linkage rule for cluster-cluster distance
+ */
+Linkage hierarchicalCluster(const Matrix &points,
+                            LinkageMethod method = LinkageMethod::Average);
+
+/** Agglomerative clustering from a precomputed distance matrix. */
+Linkage hierarchicalClusterFromDistances(const Matrix &dist,
+                                         LinkageMethod method);
+
+/**
+ * Render a horizontal ASCII dendrogram (labels on the left, linkage
+ * distance increasing to the right), visually analogous to Fig. 6.
+ *
+ * @param linkage merge tree
+ * @param labels one label per leaf
+ * @param width number of character columns used for the distance axis
+ */
+std::string renderDendrogram(const Linkage &linkage,
+                             const std::vector<std::string> &labels,
+                             int width = 56);
+
+} // namespace stats
+} // namespace rodinia
+
+#endif // RODINIA_STATS_CLUSTER_HH

@@ -1,0 +1,85 @@
+#include "stats/eigen.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/logging.hh"
+
+namespace rodinia {
+namespace stats {
+
+EigenResult
+jacobiEigen(const Matrix &m, int max_sweeps)
+{
+    if (m.rows() != m.cols())
+        panic("jacobiEigen: matrix is not square");
+    const size_t n = m.rows();
+
+    Matrix a = m;
+    Matrix v(n, n);
+    for (size_t i = 0; i < n; ++i)
+        v.at(i, i) = 1.0;
+
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        double off = 0.0;
+        for (size_t p = 0; p < n; ++p)
+            for (size_t q = p + 1; q < n; ++q)
+                off += a.at(p, q) * a.at(p, q);
+        if (off < 1e-24)
+            break;
+
+        for (size_t p = 0; p < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                double apq = a.at(p, q);
+                if (std::fabs(apq) < 1e-300)
+                    continue;
+                double app = a.at(p, p);
+                double aqq = a.at(q, q);
+                double tau = (aqq - app) / (2.0 * apq);
+                double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                           (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+                double c = 1.0 / std::sqrt(1.0 + t * t);
+                double s = t * c;
+
+                for (size_t k = 0; k < n; ++k) {
+                    double akp = a.at(k, p);
+                    double akq = a.at(k, q);
+                    a.at(k, p) = c * akp - s * akq;
+                    a.at(k, q) = s * akp + c * akq;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    double apk = a.at(p, k);
+                    double aqk = a.at(q, k);
+                    a.at(p, k) = c * apk - s * aqk;
+                    a.at(q, k) = s * apk + c * aqk;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    double vkp = v.at(k, p);
+                    double vkq = v.at(k, q);
+                    v.at(k, p) = c * vkp - s * vkq;
+                    v.at(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t(0));
+    std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+        return a.at(x, x) > a.at(y, y);
+    });
+
+    EigenResult res;
+    res.values.resize(n);
+    res.vectors = Matrix(n, n);
+    for (size_t i = 0; i < n; ++i) {
+        res.values[i] = a.at(order[i], order[i]);
+        for (size_t k = 0; k < n; ++k)
+            res.vectors.at(k, i) = v.at(k, order[i]);
+    }
+    return res;
+}
+
+} // namespace stats
+} // namespace rodinia

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Symmetric eigendecomposition via the cyclic Jacobi method.
+ *
+ * PCA on the workload feature matrices only ever needs the spectrum
+ * of a small symmetric covariance matrix, for which Jacobi rotation
+ * is accurate, simple, and has no external dependencies.
+ */
+
+#ifndef RODINIA_STATS_EIGEN_HH
+#define RODINIA_STATS_EIGEN_HH
+
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace rodinia {
+namespace stats {
+
+/** Result of a symmetric eigendecomposition, sorted descending. */
+struct EigenResult
+{
+    /** Eigenvalues sorted from largest to smallest. */
+    std::vector<double> values;
+    /** Column i of this matrix is the eigenvector for values[i]. */
+    Matrix vectors;
+};
+
+/**
+ * Decompose a symmetric matrix with cyclic Jacobi rotations.
+ *
+ * @param m symmetric square input matrix
+ * @param max_sweeps upper bound on full Jacobi sweeps
+ * @return eigenvalues (descending) and matching eigenvectors
+ */
+EigenResult jacobiEigen(const Matrix &m, int max_sweeps = 64);
+
+} // namespace stats
+} // namespace rodinia
+
+#endif // RODINIA_STATS_EIGEN_HH

@@ -1,0 +1,61 @@
+#include "stats/pca.hh"
+
+#include "stats/eigen.hh"
+#include "support/logging.hh"
+
+namespace rodinia {
+namespace stats {
+
+size_t
+PcaResult::componentsForVariance(double fraction) const
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < explained.size(); ++i) {
+        acc += explained[i];
+        if (acc >= fraction)
+            return i + 1;
+    }
+    return explained.size();
+}
+
+PcaResult
+runPca(const Matrix &data, bool standardize)
+{
+    if (data.rows() < 2 || data.cols() < 1)
+        fatal("runPca: need at least two observations and one feature");
+
+    Matrix x = standardize ? data.standardized() : data;
+    Matrix cov = x.covariance();
+    EigenResult eig = jacobiEigen(cov);
+
+    PcaResult res;
+    res.eigenvalues = eig.values;
+    res.components = eig.vectors;
+
+    double total = 0.0;
+    for (double v : eig.values)
+        total += v > 0.0 ? v : 0.0;
+    res.explained.resize(eig.values.size(), 0.0);
+    for (size_t i = 0; i < eig.values.size(); ++i) {
+        double v = eig.values[i] > 0.0 ? eig.values[i] : 0.0;
+        res.explained[i] = total > 0.0 ? v / total : 0.0;
+    }
+
+    res.scores = x.multiply(res.components);
+    return res;
+}
+
+Matrix
+pcaProject(const PcaResult &pca, size_t k)
+{
+    if (k > pca.scores.cols())
+        k = pca.scores.cols();
+    Matrix out(pca.scores.rows(), k);
+    for (size_t r = 0; r < out.rows(); ++r)
+        for (size_t c = 0; c < k; ++c)
+            out.at(r, c) = pca.scores.at(r, c);
+    return out;
+}
+
+} // namespace stats
+} // namespace rodinia

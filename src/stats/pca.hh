@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Principal component analysis over workload feature matrices.
+ *
+ * Mirrors the paper's methodology (Section IV-C): features are
+ * z-score standardized, the covariance spectrum gives orthogonal
+ * principal components, and workloads are projected onto the leading
+ * components for the scatter plots of Figures 7-9 and the clustering
+ * of Figure 6.
+ */
+
+#ifndef RODINIA_STATS_PCA_HH
+#define RODINIA_STATS_PCA_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace rodinia {
+namespace stats {
+
+/** Output of a principal component analysis. */
+struct PcaResult
+{
+    /** Eigenvalues of the covariance matrix, descending. */
+    std::vector<double> eigenvalues;
+    /** Fraction of total variance captured by each component. */
+    std::vector<double> explained;
+    /** Loadings: features x components; column i is component i. */
+    Matrix components;
+    /** Scores: observations x components (projected data). */
+    Matrix scores;
+
+    /** Number of leading components covering at least `fraction`. */
+    size_t componentsForVariance(double fraction) const;
+};
+
+/**
+ * Run PCA on an observations-by-features matrix.
+ *
+ * @param data raw (unstandardized) feature matrix
+ * @param standardize z-score each feature column first (the paper
+ *        standardizes, since its features mix rates and counts)
+ */
+PcaResult runPca(const Matrix &data, bool standardize = true);
+
+/**
+ * Project observations onto the first `k` principal components,
+ * returning an observations-by-k score matrix.
+ */
+Matrix pcaProject(const PcaResult &pca, size_t k);
+
+} // namespace stats
+} // namespace rodinia
+
+#endif // RODINIA_STATS_PCA_HH

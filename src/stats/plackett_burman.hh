@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Plackett-Burman two-level screening designs (Section III-E).
+ *
+ * The paper follows Yi et al. [36]: with n architectural parameters,
+ * a PB design needs only ~2n simulations to rank single-parameter
+ * effects. We implement the standard cyclic constructions for 8-, 12-,
+ * 16-, 20- and 24-run designs, plus effect estimation and ranking.
+ */
+
+#ifndef RODINIA_STATS_PLACKETT_BURMAN_HH
+#define RODINIA_STATS_PLACKETT_BURMAN_HH
+
+#include <string>
+#include <vector>
+
+namespace rodinia {
+namespace stats {
+
+/** A two-level screening design: runs x factors of +/-1 levels. */
+struct PbDesign
+{
+    int runs = 0;
+    int factors = 0;
+    /** signs[r][f] is +1 (high level) or -1 (low level). */
+    std::vector<std::vector<int>> signs;
+};
+
+/**
+ * Build a Plackett-Burman design with enough runs for `factors`
+ * factors (the next multiple-of-4 run count above `factors`).
+ * Supported run counts: 8, 12, 16, 20, 24.
+ */
+PbDesign pbDesign(int factors);
+
+/** One factor's estimated main effect, for ranking. */
+struct PbEffect
+{
+    int factor;
+    std::string name;
+    double effect;   //!< signed main effect
+    double magnitude; //!< |effect|
+};
+
+/**
+ * Estimate main effects from per-run responses and rank them by
+ * magnitude (largest first).
+ *
+ * @param design the PB design that produced the responses
+ * @param responses one response value per design run
+ * @param names optional factor names (defaults to "f0", "f1", ...)
+ */
+std::vector<PbEffect> pbEffects(const PbDesign &design,
+                                const std::vector<double> &responses,
+                                const std::vector<std::string> &names = {});
+
+} // namespace stats
+} // namespace rodinia
+
+#endif // RODINIA_STATS_PLACKETT_BURMAN_HH

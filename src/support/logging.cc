@@ -1,0 +1,14 @@
+#include "support/logging.hh"
+
+namespace rodinia {
+namespace detail {
+
+void
+fatalExit(const char *kind, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace rodinia

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 style.
+ *
+ * fatal() is for user-caused conditions (bad configuration, invalid
+ * arguments); panic() is for conditions that indicate a bug in the
+ * library itself. warn()/inform() print status without terminating.
+ */
+
+#ifndef RODINIA_SUPPORT_LOGGING_HH
+#define RODINIA_SUPPORT_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace rodinia {
+
+namespace detail {
+
+/** Format the variadic argument pack into one string via a stream. */
+template <typename... Args>
+std::string
+concatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void fatalExit(const char *kind, const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Terminate with exit(1) due to a user-level error (bad config,
+ * invalid arguments). Not a library bug.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalExit("fatal",
+                      detail::concatMessage(std::forward<Args>(args)...));
+}
+
+/**
+ * Terminate with abort() due to an internal invariant violation —
+ * something that should never happen regardless of user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::fprintf(stderr, "panic: %s\n",
+                 detail::concatMessage(std::forward<Args>(args)...).c_str());
+    std::abort();
+}
+
+/** Print a warning about questionable but survivable behavior. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::fprintf(stderr, "warn: %s\n",
+                 detail::concatMessage(std::forward<Args>(args)...).c_str());
+}
+
+/** Print a neutral status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    std::fprintf(stdout, "info: %s\n",
+                 detail::concatMessage(std::forward<Args>(args)...).c_str());
+}
+
+} // namespace rodinia
+
+#endif // RODINIA_SUPPORT_LOGGING_HH

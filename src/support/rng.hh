@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All workloads draw randomness through Rng so that every figure the
+ * benchmark harness produces is bit-reproducible across runs and
+ * platforms. The core generator is xorshift64star seeded through
+ * splitmix64, which is fast, has no global state, and is identical on
+ * every platform (unlike std::default_random_engine distributions).
+ */
+
+#ifndef RODINIA_SUPPORT_RNG_HH
+#define RODINIA_SUPPORT_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace rodinia {
+
+/** Small deterministic RNG with uniform and Gaussian draws. */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 so nearby seeds give unrelated streams. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        state = z ^ (z >> 31);
+        if (state == 0)
+            state = 0x2545f4914f6cdd1dULL;
+    }
+
+    /** Next raw 64-bit value (xorshift64star). */
+    uint64_t
+    next()
+    {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545f4914f6cdd1dULL;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). n must be > 0. */
+    uint64_t
+    below(uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + int64_t(below(uint64_t(hi - lo + 1)));
+    }
+
+    /** Standard normal draw via Box-Muller (one value per call). */
+    double
+    gaussian()
+    {
+        if (haveSpare) {
+            haveSpare = false;
+            return spare;
+        }
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        double r = std::sqrt(-2.0 * std::log(u1));
+        double theta = 6.283185307179586 * u2;
+        spare = r * std::sin(theta);
+        haveSpare = true;
+        return r * std::cos(theta);
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    uint64_t state;
+    double spare = 0.0;
+    bool haveSpare = false;
+};
+
+} // namespace rodinia
+
+#endif // RODINIA_SUPPORT_RNG_HH

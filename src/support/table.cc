@@ -1,0 +1,126 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace rodinia {
+
+Table::Table(std::string title) : title(std::move(title))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> cells)
+{
+    header = std::move(cells);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+Table::fmtInt(uint64_t v)
+{
+    std::string raw = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    if (!header.empty())
+        grow(header);
+    for (const auto &row : rows)
+        grow(row);
+
+    auto emit = [&](std::ostringstream &os,
+                    const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < cells.size() ? cells[i] : "";
+            os << cell;
+            if (i + 1 < widths.size())
+                os << std::string(widths[i] - cell.size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    std::ostringstream os;
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    if (!title.empty()) {
+        os << title << '\n';
+        os << std::string(std::max(title.size(), total), '-') << '\n';
+    }
+    if (!header.empty()) {
+        emit(os, header);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows)
+        emit(os, row);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+barRow(const std::string &label, double value, double max_value, int width,
+       int precision)
+{
+    int bars = 0;
+    if (max_value > 0.0)
+        bars = int(value / max_value * width + 0.5);
+    bars = std::clamp(bars, 0, width);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    std::ostringstream os;
+    os << label;
+    if (label.size() < 16)
+        os << std::string(16 - label.size(), ' ');
+    os << " |" << std::string(bars, '#')
+       << std::string(width - bars, ' ') << "| " << buf;
+    return os.str();
+}
+
+} // namespace rodinia

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Aligned ASCII table rendering for the benchmark harness.
+ *
+ * Every bench binary regenerates one of the paper's tables or the
+ * data series behind one of its figures; Table gives those binaries a
+ * uniform, diffable text format.
+ */
+
+#ifndef RODINIA_SUPPORT_TABLE_HH
+#define RODINIA_SUPPORT_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rodinia {
+
+/** A simple column-aligned text table with an optional title. */
+class Table
+{
+  public:
+    explicit Table(std::string title = "");
+
+    /** Set the header row. Clears any previously set header. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row; short rows are padded with empty cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string fmt(double v, int precision = 2);
+
+    /** Convenience: format a value as a percentage string. */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Convenience: format an integer with thousands separators. */
+    static std::string fmtInt(uint64_t v);
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/**
+ * Render a horizontal bar-chart row (for figure-series output) —
+ * a label, a scaled run of '#' characters, and the numeric value.
+ */
+std::string barRow(const std::string &label, double value, double max_value,
+                   int width = 40, int precision = 2);
+
+} // namespace rodinia
+
+#endif // RODINIA_SUPPORT_TABLE_HH

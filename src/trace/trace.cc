@@ -1,0 +1,126 @@
+#include "trace/trace.hh"
+
+#include <thread>
+#include <unordered_set>
+
+#include "support/logging.hh"
+
+namespace rodinia {
+namespace trace {
+
+ThreadCtx::ThreadCtx(TraceSession *session, int tid)
+    : session(session), threadId(tid), recording(session->recordsEvents())
+{
+}
+
+int
+ThreadCtx::numThreads() const
+{
+    return session->numThreads();
+}
+
+void
+ThreadCtx::barrier()
+{
+    session->syncBarrier->arrive_and_wait();
+}
+
+TraceSession::TraceSession(int num_threads, bool record)
+    : nThreads(num_threads), recording(record)
+{
+    if (num_threads < 1)
+        fatal("TraceSession: need at least one thread");
+    syncBarrier = std::make_unique<std::barrier<>>(num_threads);
+    for (int i = 0; i < num_threads; ++i)
+        ctxs.push_back(std::make_unique<ThreadCtx>(this, i));
+}
+
+TraceSession::~TraceSession() = default;
+
+void
+TraceSession::run(const std::function<void(ThreadCtx &)> &fn)
+{
+    std::vector<std::thread> threads;
+    threads.reserve(nThreads);
+    for (int i = 0; i < nThreads; ++i)
+        threads.emplace_back([this, &fn, i] { fn(*ctxs[i]); });
+    for (auto &t : threads)
+        t.join();
+}
+
+InstrMix
+TraceSession::totalMix() const
+{
+    InstrMix mix;
+    for (const auto &c : ctxs)
+        mix += c->instrMix();
+    return mix;
+}
+
+uint64_t
+TraceSession::totalEvents() const
+{
+    uint64_t n = 0;
+    for (const auto &c : ctxs)
+        n += c->events().size();
+    return n;
+}
+
+uint64_t
+TraceSession::instructionSites() const
+{
+    std::unordered_set<uint64_t> all;
+    for (const auto &c : ctxs)
+        all.insert(c->sites().begin(), c->sites().end());
+    return all.size();
+}
+
+uint64_t
+TraceSession::instructionFootprintBlocks() const
+{
+    uint64_t bytes = instructionSites() * bytesPerSite;
+    std::unordered_map<uint64_t, uint64_t> regions;
+    for (const auto &c : ctxs)
+        for (const auto &[key, sz] : c->regions())
+            regions[key] = sz;
+    for (const auto &[key, sz] : regions)
+        bytes += sz;
+    return (bytes + 63) / 64;
+}
+
+uint64_t
+TraceSession::dataFootprintPages() const
+{
+    std::unordered_set<uint64_t> pages;
+    for (const auto &c : ctxs) {
+        for (const auto &e : c->events()) {
+            pages.insert(e.addr >> 12);
+            // Accesses straddling a page boundary touch both pages.
+            if (((e.addr + e.size - 1) >> 12) != (e.addr >> 12))
+                pages.insert((e.addr + e.size - 1) >> 12);
+        }
+    }
+    return pages.size();
+}
+
+void
+TraceSession::forEachInterleaved(
+    const std::function<void(int tid, const MemEvent &)> &fn) const
+{
+    std::vector<size_t> cursor(ctxs.size(), 0);
+    bool any = true;
+    while (any) {
+        any = false;
+        for (size_t t = 0; t < ctxs.size(); ++t) {
+            const auto &ev = ctxs[t]->events();
+            if (cursor[t] < ev.size()) {
+                fn(int(t), ev[cursor[t]]);
+                ++cursor[t];
+                any = true;
+            }
+        }
+    }
+}
+
+} // namespace trace
+} // namespace rodinia

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Source-level instrumentation substrate — the Pin analog.
+ *
+ * The paper collects its CPU-side metrics (instruction mix, cache
+ * behavior, sharing, footprints) with Pin binary instrumentation. We
+ * substitute source-level instrumentation: every workload performs
+ * its real computation through a trace::ThreadCtx, which records
+ * per-thread instruction-mix counters, a memory-access trace, the set
+ * of static instrumentation sites executed (for instruction
+ * footprints), and the set of data pages touched.
+ *
+ * Workloads run on real std::threads; the session interleaves the
+ * per-thread memory traces round-robin when feeding cache simulation
+ * so results are deterministic.
+ */
+
+#ifndef RODINIA_TRACE_TRACE_HH
+#define RODINIA_TRACE_TRACE_HH
+
+#include <barrier>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <source_location>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace rodinia {
+namespace trace {
+
+/** One recorded memory access. */
+struct MemEvent
+{
+    uint64_t addr;
+    uint16_t size;
+    uint8_t isWrite;
+};
+
+/** Dynamic instruction-mix counters (Bienia et al.'s categories). */
+struct InstrMix
+{
+    uint64_t intOps = 0;
+    uint64_t fpOps = 0;
+    uint64_t branches = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+
+    uint64_t total() const
+    {
+        return intOps + fpOps + branches + loads + stores;
+    }
+    uint64_t memRefs() const { return loads + stores; }
+
+    InstrMix &
+    operator+=(const InstrMix &o)
+    {
+        intOps += o.intOps;
+        fpOps += o.fpOps;
+        branches += o.branches;
+        loads += o.loads;
+        stores += o.stores;
+        return *this;
+    }
+};
+
+class TraceSession;
+
+/**
+ * Per-thread instrumentation handle. A workload thread performs its
+ * real loads/stores through ld()/st() (or reports them with
+ * load()/store()) and reports computation with alu()/fp()/branch().
+ *
+ * Each call site is identified via std::source_location, which
+ * models the static code footprint: distinct sites executed stand in
+ * for distinct instruction blocks in the compiled binary.
+ */
+class ThreadCtx
+{
+  public:
+    ThreadCtx(TraceSession *session, int tid);
+
+    int tid() const { return threadId; }
+    int numThreads() const;
+
+    /** Record a load of `size` bytes at `a`. */
+    void
+    load(const void *a, size_t size,
+         std::source_location loc = std::source_location::current())
+    {
+        mix.loads++;
+        touchSite(loc);
+        if (recording)
+            memTrace.push_back({uint64_t(uintptr_t(a)),
+                                uint16_t(size), 0});
+    }
+
+    /** Record a store of `size` bytes at `a`. */
+    void
+    store(const void *a, size_t size,
+          std::source_location loc = std::source_location::current())
+    {
+        mix.stores++;
+        touchSite(loc);
+        if (recording)
+            memTrace.push_back({uint64_t(uintptr_t(a)),
+                                uint16_t(size), 1});
+    }
+
+    /** Load through the instrumentation: returns *p and records. */
+    template <typename T>
+    T
+    ld(const T *p, std::source_location loc = std::source_location::current())
+    {
+        load(p, sizeof(T), loc);
+        return *p;
+    }
+
+    /** Store through the instrumentation: *p = v and records. */
+    template <typename T>
+    void
+    st(T *p, const T &v,
+       std::source_location loc = std::source_location::current())
+    {
+        store(p, sizeof(T), loc);
+        *p = v;
+    }
+
+    /** Report `n` integer ALU operations at this site. */
+    void
+    alu(uint64_t n = 1,
+        std::source_location loc = std::source_location::current())
+    {
+        mix.intOps += n;
+        touchSite(loc);
+    }
+
+    /** Report `n` floating-point operations at this site. */
+    void
+    fp(uint64_t n = 1,
+       std::source_location loc = std::source_location::current())
+    {
+        mix.fpOps += n;
+        touchSite(loc);
+    }
+
+    /** Report `n` branch instructions at this site. */
+    void
+    branch(uint64_t n = 1,
+           std::source_location loc = std::source_location::current())
+    {
+        mix.branches += n;
+        touchSite(loc);
+    }
+
+    /**
+     * Declare that this thread executes a static code region of
+     * roughly `bytes` bytes of machine code (the hot text of the
+     * real application this workload models). Instruction footprints
+     * (Fig. 11) combine these regions with the per-site model, since
+     * source-level instrumentation cannot observe compiled code
+     * size directly.
+     */
+    void
+    codeRegion(uint64_t bytes,
+               std::source_location loc = std::source_location::current())
+    {
+        uint64_t key = std::hash<std::string_view>{}(loc.file_name());
+        key ^= (uint64_t(loc.line()) << 12) ^ loc.column();
+        regionMap[key] = bytes;
+    }
+
+    const std::unordered_map<uint64_t, uint64_t> &regions() const
+    {
+        return regionMap;
+    }
+
+    /** Block until every workload thread reaches the barrier. */
+    void barrier();
+
+    const InstrMix &instrMix() const { return mix; }
+    const std::vector<MemEvent> &events() const { return memTrace; }
+    const std::unordered_set<uint64_t> &sites() const { return siteSet; }
+
+  private:
+    void
+    touchSite(const std::source_location &loc)
+    {
+        uint64_t key = std::hash<std::string_view>{}(loc.file_name());
+        key ^= (uint64_t(loc.line()) << 12) ^ loc.column();
+        siteSet.insert(key);
+    }
+
+    TraceSession *session;
+    int threadId;
+    bool recording;
+    InstrMix mix;
+    std::vector<MemEvent> memTrace;
+    std::unordered_set<uint64_t> siteSet;
+    std::unordered_map<uint64_t, uint64_t> regionMap;
+
+    friend class TraceSession;
+};
+
+/**
+ * Runs an instrumented multithreaded workload and aggregates the
+ * per-thread recordings.
+ */
+class TraceSession
+{
+  public:
+    /**
+     * @param num_threads number of workload threads to spawn
+     * @param record keep full memory traces (disable for functional
+     *        tests that only need the computation, not the metrics)
+     */
+    explicit TraceSession(int num_threads, bool record = true);
+    ~TraceSession();
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    /** Execute fn once per thread, concurrently. */
+    void run(const std::function<void(ThreadCtx &)> &fn);
+
+    int numThreads() const { return nThreads; }
+    bool recordsEvents() const { return recording; }
+
+    /** Per-thread contexts (valid after run()). */
+    const std::vector<std::unique_ptr<ThreadCtx>> &contexts() const
+    {
+        return ctxs;
+    }
+
+    /** Instruction mix summed over all threads. */
+    InstrMix totalMix() const;
+
+    /** Total recorded memory events across threads. */
+    uint64_t totalEvents() const;
+
+    /** Number of distinct static instrumentation sites executed. */
+    uint64_t instructionSites() const;
+
+    /**
+     * Modeled instruction footprint in 64-byte blocks (Fig. 11).
+     * Each distinct site stands for bytesPerSite bytes of machine
+     * code.
+     */
+    uint64_t instructionFootprintBlocks() const;
+
+    /** Distinct 4 kB data pages touched (Fig. 12). */
+    uint64_t dataFootprintPages() const;
+
+    /**
+     * Visit all recorded memory events in a deterministic
+     * round-robin interleaving across threads (models concurrent
+     * execution when replaying into a cache simulator).
+     */
+    void forEachInterleaved(
+        const std::function<void(int tid, const MemEvent &)> &fn) const;
+
+    /** Bytes of machine code modeled per instrumentation site. */
+    static constexpr uint64_t bytesPerSite = 16;
+
+  private:
+    int nThreads;
+    bool recording;
+    std::vector<std::unique_ptr<ThreadCtx>> ctxs;
+    std::unique_ptr<std::barrier<>> syncBarrier;
+
+    friend class ThreadCtx;
+};
+
+} // namespace trace
+} // namespace rodinia
+
+#endif // RODINIA_TRACE_TRACE_HH

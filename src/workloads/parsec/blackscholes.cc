@@ -1,0 +1,134 @@
+#include "workloads/parsec/parsec.hh"
+
+#include <cmath>
+
+#include "support/rng.hh"
+
+namespace rodinia {
+namespace workloads {
+
+namespace {
+
+const core::WorkloadInfo kInfo = {
+    "blackscholes",
+    "Blackscholes",
+    core::Suite::Parsec,
+    "Dense Linear Algebra",
+    "Financial Analysis",
+    "32768 options, 10 rounds",
+    "Black-Scholes PDE closed-form portfolio pricing",
+};
+
+struct Option
+{
+    float spot, strike, rate, vol, time;
+    int isCall;
+};
+
+/** Cumulative normal distribution (Abramowitz-Stegun polynomial). */
+inline float
+cndf(float x)
+{
+    const float a1 = 0.319381530f, a2 = -0.356563782f,
+                a3 = 1.781477937f, a4 = -1.821255978f,
+                a5 = 1.330274429f;
+    float sign = x < 0.0f ? -1.0f : 1.0f;
+    float ax = std::fabs(x);
+    float k = 1.0f / (1.0f + 0.2316419f * ax);
+    float poly =
+        k * (a1 + k * (a2 + k * (a3 + k * (a4 + k * a5))));
+    float n = 1.0f -
+              0.3989422804f * std::exp(-0.5f * ax * ax) * poly;
+    return sign > 0.0f ? n : 1.0f - n;
+}
+
+inline float
+priceOf(const Option &o)
+{
+    float sqrtT = std::sqrt(o.time);
+    float d1 = (std::log(o.spot / o.strike) +
+                (o.rate + 0.5f * o.vol * o.vol) * o.time) /
+               (o.vol * sqrtT);
+    float d2 = d1 - o.vol * sqrtT;
+    float call = o.spot * cndf(d1) -
+                 o.strike * std::exp(-o.rate * o.time) * cndf(d2);
+    if (o.isCall)
+        return call;
+    // Put-call parity.
+    return call - o.spot + o.strike * std::exp(-o.rate * o.time);
+}
+
+} // namespace
+
+const core::WorkloadInfo &
+Blackscholes::info() const
+{
+    return kInfo;
+}
+
+void
+Blackscholes::runCpu(trace::TraceSession &session, core::Scale scale)
+{
+    int n, rounds;
+    switch (scale) {
+      case core::Scale::Tiny:
+        n = 2048;
+        rounds = 1;
+        break;
+      case core::Scale::Small:
+        n = 8192;
+        rounds = 2;
+        break;
+      default:
+        n = 32768;
+        rounds = 10;
+        break;
+    }
+
+    Rng rng(0xB5);
+    std::vector<Option> options(n);
+    for (auto &o : options) {
+        o.spot = float(rng.uniform(10.0, 100.0));
+        o.strike = float(rng.uniform(10.0, 100.0));
+        o.rate = float(rng.uniform(0.01, 0.1));
+        o.vol = float(rng.uniform(0.1, 0.6));
+        o.time = float(rng.uniform(0.2, 2.0));
+        o.isCall = rng.chance(0.5) ? 1 : 0;
+    }
+    std::vector<float> prices(n, 0.0f);
+    const int nt = session.numThreads();
+
+    session.run([&](trace::ThreadCtx &ctx) {
+        // Hot-code size of the application this
+        // workload models (Fig. 11 substitution).
+        ctx.codeRegion(12 * 1024);
+        const int t = ctx.tid();
+        const int lo = n * t / nt;
+        const int hi = n * (t + 1) / nt;
+        for (int r = 0; r < rounds; ++r) {
+            for (int i = lo; i < hi; ++i) {
+                ctx.load(&options[i], 16);
+                ctx.load(&reinterpret_cast<const char *>(
+                             &options[i])[16],
+                         sizeof(Option) - 16);
+                ctx.fp(44); // logs, exps, and the CNDF polynomials
+                ctx.branch(2);
+                prices[i] = priceOf(options[i]);
+                ctx.store(&prices[i], 4);
+            }
+            ctx.barrier();
+        }
+    });
+
+    digest = core::hashRange(prices.begin(), prices.end());
+}
+
+void
+registerBlackscholes()
+{
+    core::Registry::instance().add(
+        kInfo, [] { return std::make_unique<Blackscholes>(); });
+}
+
+} // namespace workloads
+} // namespace rodinia

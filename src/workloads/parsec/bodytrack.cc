@@ -1,0 +1,161 @@
+#include "workloads/parsec/parsec.hh"
+
+#include <cmath>
+
+#include "support/rng.hh"
+
+namespace rodinia {
+namespace workloads {
+
+namespace {
+
+const core::WorkloadInfo kInfo = {
+    "bodytrack",
+    "Bodytrack",
+    core::Suite::Parsec,
+    "Structured Grid",
+    "Computer Vision",
+    "3 frames, 2048 particles",
+    "Annealed particle filter tracking a pose against image evidence",
+};
+
+} // namespace
+
+const core::WorkloadInfo &
+Bodytrack::info() const
+{
+    return kInfo;
+}
+
+void
+Bodytrack::runCpu(trace::TraceSession &session, core::Scale scale)
+{
+    int particles, frames;
+    const int dim = 128;
+    switch (scale) {
+      case core::Scale::Tiny:
+        particles = 256;
+        frames = 2;
+        break;
+      case core::Scale::Small:
+        particles = 1024;
+        frames = 2;
+        break;
+      default:
+        particles = 2048;
+        frames = 3;
+        break;
+    }
+
+    Rng rng(0xB0D7);
+    // Observation images: one edge map per frame, read-shared by all
+    // particle evaluations.
+    std::vector<std::vector<float>> images(frames);
+    for (auto &img : images) {
+        img.resize(size_t(dim) * dim);
+        for (auto &v : img)
+            v = float(rng.uniform(0.0, 1.0));
+    }
+
+    struct Particle
+    {
+        float x, y, angle;
+        float weight;
+    };
+    std::vector<Particle> ps(particles);
+    for (auto &p : ps) {
+        p.x = float(rng.uniform(32.0, 96.0));
+        p.y = float(rng.uniform(32.0, 96.0));
+        p.angle = float(rng.uniform(0.0, 6.28));
+        p.weight = 1.0f / float(particles);
+    }
+    std::vector<Particle> resampled(particles);
+    const int nt = session.numThreads();
+    const int samples = 24;
+
+    session.run([&](trace::ThreadCtx &ctx) {
+        // Hot-code size of the application this
+        // workload models (Fig. 11 substitution).
+        ctx.codeRegion(180 * 1024);
+        const int t = ctx.tid();
+        const int lo = particles * t / nt;
+        const int hi = particles * (t + 1) / nt;
+        Rng local(0x9000 + t);
+
+        for (int f = 0; f < frames; ++f) {
+            const auto &img = images[f];
+            // Propagate and weight each particle against the image.
+            for (int i = lo; i < hi; ++i) {
+                ctx.load(&ps[i], sizeof(Particle));
+                ps[i].x += float(local.gaussian());
+                ps[i].y += float(local.gaussian());
+                ps[i].angle += 0.1f * float(local.gaussian());
+                ctx.fp(6);
+
+                float logLik = 0.0f;
+                for (int s = 0; s < samples; ++s) {
+                    float a = ps[i].angle + 0.26f * s;
+                    int px = int(ps[i].x + 10.0f * std::cos(a));
+                    int py = int(ps[i].y + 10.0f * std::sin(a));
+                    px = std::min(std::max(px, 0), dim - 1);
+                    py = std::min(std::max(py, 0), dim - 1);
+                    ctx.fp(8);
+                    ctx.alu(4);
+                    ctx.load(&img[size_t(py) * dim + px], 4);
+                    float e = img[size_t(py) * dim + px];
+                    logLik += (e - 0.5f) * (e - 0.5f);
+                }
+                ps[i].weight = std::exp(-logLik);
+                ctx.fp(2);
+                ctx.store(&ps[i].weight, 4);
+            }
+            ctx.barrier();
+
+            // Thread 0: normalize and systematic-resample.
+            if (t == 0) {
+                double total = 0.0;
+                for (int i = 0; i < particles; ++i) {
+                    ctx.load(&ps[i].weight, 4);
+                    ctx.fp(1);
+                    total += ps[i].weight;
+                }
+                if (total <= 0.0)
+                    total = 1.0;
+                double step = total / particles;
+                double u = step * 0.5;
+                double acc = ps[0].weight;
+                int j = 0;
+                for (int i = 0; i < particles; ++i) {
+                    while (acc < u && j + 1 < particles) {
+                        ++j;
+                        ctx.load(&ps[j].weight, 4);
+                        ctx.fp(1);
+                        acc += ps[j].weight;
+                    }
+                    ctx.branch();
+                    resampled[i] = ps[j];
+                    ctx.store(&resampled[i], sizeof(Particle));
+                    u += step;
+                }
+                std::swap(ps, resampled);
+            }
+            ctx.barrier();
+        }
+    });
+
+    uint64_t h = 1469598103934665603ULL;
+    for (const auto &p : ps)
+        h = core::hashCombine(h, uint64_t(int64_t(p.x * 100)) ^
+                                     uint64_t(int64_t(p.y * 100)));
+    digest = h;
+}
+
+void
+registerBodytrack()
+{
+    core::Registry::instance().add(
+        kInfo, [] { return std::make_unique<Bodytrack>(); });
+}
+
+} // namespace workloads
+} // namespace rodinia

@@ -1,0 +1,146 @@
+#include "workloads/parsec/parsec.hh"
+
+#include <mutex>
+
+#include "support/rng.hh"
+
+namespace rodinia {
+namespace workloads {
+
+namespace {
+
+const core::WorkloadInfo kInfo = {
+    "canneal",
+    "Canneal",
+    core::Suite::Parsec,
+    "Unstructured Grid",
+    "Engineering",
+    "65536 netlist elements, 8192 swaps/thread",
+    "Simulated-annealing routing-cost minimization of a netlist",
+};
+
+} // namespace
+
+const core::WorkloadInfo &
+Canneal::info() const
+{
+    return kInfo;
+}
+
+void
+Canneal::runCpu(trace::TraceSession &session, core::Scale scale)
+{
+    int elements, swapsPerThread;
+    switch (scale) {
+      case core::Scale::Tiny:
+        elements = 4096;
+        swapsPerThread = 512;
+        break;
+      case core::Scale::Small:
+        elements = 16384;
+        swapsPerThread = 2048;
+        break;
+      default:
+        elements = 65536;
+        swapsPerThread = 8192;
+        break;
+    }
+    const int fanout = 4;
+
+    Rng rng(0xCA2);
+    // Placement: x/y location per element; netlist: random fanout.
+    std::vector<int> locX(elements), locY(elements);
+    std::vector<int> nets(size_t(elements) * fanout);
+    for (int i = 0; i < elements; ++i) {
+        locX[i] = int(rng.below(1024));
+        locY[i] = int(rng.below(1024));
+        for (int f = 0; f < fanout; ++f)
+            nets[size_t(i) * fanout + f] =
+                int(rng.below(uint64_t(elements)));
+    }
+    // Striped locks, as canneal's lock-free swaps would contend.
+    constexpr int kLocks = 64;
+    std::mutex locks[kLocks];
+    const int nt = session.numThreads();
+
+    auto wireCost = [&](trace::ThreadCtx &ctx, int e) {
+        int cost = 0;
+        int ex = ctx.ld(&locX[e]);
+        int ey = ctx.ld(&locY[e]);
+        for (int f = 0; f < fanout; ++f) {
+            int o = ctx.ld(&nets[size_t(e) * fanout + f]);
+            int ox = ctx.ld(&locX[o]);
+            int oy = ctx.ld(&locY[o]);
+            ctx.alu(6);
+            cost += std::abs(ex - ox) + std::abs(ey - oy);
+        }
+        return cost;
+    };
+
+    session.run([&](trace::ThreadCtx &ctx) {
+        // Hot-code size of the application this
+        // workload models (Fig. 11 substitution).
+        ctx.codeRegion(40 * 1024);
+        const int t = ctx.tid();
+        Rng local(0xA43E + t);
+        double temperature = 100.0;
+
+        for (int s = 0; s < swapsPerThread; ++s) {
+            int a = int(local.below(uint64_t(elements)));
+            int b = int(local.below(uint64_t(elements)));
+            if (a == b)
+                continue;
+            ctx.alu(4);
+
+            int before = wireCost(ctx, a) + wireCost(ctx, b);
+            // Tentatively swap under the striped locks.
+            std::scoped_lock lock(locks[a % kLocks],
+                                  locks[(b % kLocks) == (a % kLocks)
+                                            ? (b % kLocks + 1) % kLocks
+                                            : b % kLocks]);
+            std::swap(locX[a], locX[b]);
+            std::swap(locY[a], locY[b]);
+            ctx.store(&locX[a], 4);
+            ctx.store(&locX[b], 4);
+            ctx.store(&locY[a], 4);
+            ctx.store(&locY[b], 4);
+            int after = wireCost(ctx, a) + wireCost(ctx, b);
+
+            ctx.branch();
+            bool accept = after < before ||
+                          local.uniform() <
+                              std::exp((before - after) / temperature);
+            if (!accept) {
+                std::swap(locX[a], locX[b]);
+                std::swap(locY[a], locY[b]);
+                ctx.store(&locX[a], 4);
+                ctx.store(&locX[b], 4);
+                ctx.store(&locY[a], 4);
+                ctx.store(&locY[b], 4);
+            }
+            temperature *= 0.9995;
+        }
+    });
+
+    // Deterministic *structure*, thread-interleaving-dependent values:
+    // digest over the final total cost bucketed coarsely.
+    long long total = 0;
+    for (int i = 0; i < elements; ++i) {
+        for (int f = 0; f < fanout; ++f) {
+            int o = nets[size_t(i) * fanout + f];
+            total += std::abs(locX[i] - locX[o]) +
+                     std::abs(locY[i] - locY[o]);
+        }
+    }
+    digest = uint64_t(total / 1000000);
+}
+
+void
+registerCanneal()
+{
+    core::Registry::instance().add(
+        kInfo, [] { return std::make_unique<Canneal>(); });
+}
+
+} // namespace workloads
+} // namespace rodinia

@@ -1,0 +1,165 @@
+#include "workloads/parsec/parsec.hh"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "workloads/parsec/pipeline.hh"
+
+namespace rodinia {
+namespace workloads {
+
+namespace {
+
+const core::WorkloadInfo kInfo = {
+    "dedup",
+    "Dedup",
+    core::Suite::Parsec,
+    "Combinational Logic",
+    "Enterprise Storage",
+    "1 MB stream, 4-stage pipeline",
+    "Pipelined content-defined chunking, deduplication, compression",
+};
+
+struct Chunk
+{
+    const uint8_t *data;
+    int len;
+    int id;
+};
+
+} // namespace
+
+const core::WorkloadInfo &
+Dedup::info() const
+{
+    return kInfo;
+}
+
+void
+Dedup::runCpu(trace::TraceSession &session, core::Scale scale)
+{
+    int bytes;
+    switch (scale) {
+      case core::Scale::Tiny:
+        bytes = 64 * 1024;
+        break;
+      case core::Scale::Small:
+        bytes = 256 * 1024;
+        break;
+      default:
+        bytes = 1024 * 1024;
+        break;
+    }
+
+    // Synthetic input with heavy redundancy: repeated phrases with
+    // occasional mutation, so deduplication actually fires.
+    Rng rng(0xDED);
+    std::vector<uint8_t> input(bytes);
+    std::vector<uint8_t> phrase(509);
+    for (auto &c : phrase)
+        c = uint8_t(rng.below(256));
+    for (int i = 0; i < bytes; ++i) {
+        input[i] = phrase[i % phrase.size()];
+        if (rng.chance(0.001))
+            input[i] = uint8_t(rng.below(256));
+    }
+
+    BoundedQueue<Chunk> chunkQ(128);
+    BoundedQueue<Chunk> uniqueQ(128);
+    std::unordered_map<uint64_t, int> table;
+    std::mutex tableMtx;
+    std::vector<uint64_t> compressedSizes(4096, 0);
+    std::atomic<int> uniqueCount{0};
+    std::atomic<int> dupCount{0};
+    std::atomic<uint64_t> outBytes{0};
+    const int nt = session.numThreads();
+    std::atomic<int> dedupersLeft{nt > 1 ? nt / 2 : 1};
+
+    if (nt < 3)
+        fatal("dedup's pipeline needs at least 3 threads, got ", nt);
+
+    session.run([&](trace::ThreadCtx &ctx) {
+        // Hot-code size of the application this
+        // workload models (Fig. 11 substitution).
+        ctx.codeRegion(90 * 1024);
+        const int t = ctx.tid();
+        if (t == 0) {
+            // Stage 1: content-defined chunking via a rolling hash.
+            uint64_t h = 0;
+            int start = 0;
+            int id = 0;
+            for (int i = 0; i < bytes; ++i) {
+                ctx.load(&input[i], 1);
+                ctx.alu(3);
+                h = h * 131 + input[i];
+                bool boundary = (h & 0x3ff) == 0 ||
+                                i - start >= 4096 || i == bytes - 1;
+                ctx.branch();
+                if (boundary) {
+                    chunkQ.push({&input[start], i - start + 1, id++});
+                    start = i + 1;
+                    h = 0;
+                }
+            }
+            chunkQ.close();
+        } else if (t <= nt / 2) {
+            // Stage 2: deduplicate chunks by fingerprint.
+            while (auto c = chunkQ.pop()) {
+                uint64_t fp = 1469598103934665603ULL;
+                for (int i = 0; i < c->len; ++i) {
+                    ctx.load(&c->data[i], 1);
+                    ctx.alu(2);
+                    fp = (fp ^ c->data[i]) * 1099511628211ULL;
+                }
+                bool fresh;
+                {
+                    std::lock_guard<std::mutex> lock(tableMtx);
+                    fresh = table.emplace(fp, c->id).second;
+                }
+                ctx.branch();
+                if (fresh) {
+                    uniqueCount.fetch_add(1);
+                    uniqueQ.push(*c);
+                } else {
+                    dupCount.fetch_add(1);
+                }
+            }
+            // The last deduplicator to finish closes the next stage.
+            if (dedupersLeft.fetch_sub(1) == 1)
+                uniqueQ.close();
+        } else {
+            // Stage 3: "compress" unique chunks (delta + RLE sizing).
+            while (auto c = uniqueQ.pop()) {
+                int runs = 1;
+                for (int i = 1; i < c->len; ++i) {
+                    ctx.load(&c->data[i], 1);
+                    ctx.alu(1);
+                    ctx.branch();
+                    if (c->data[i] != c->data[i - 1])
+                        ++runs;
+                }
+                uint64_t sz = uint64_t(runs) * 2;
+                outBytes.fetch_add(sz);
+                if (c->id < int(compressedSizes.size()))
+                    ctx.store(&compressedSizes[c->id], 8);
+            }
+        }
+    });
+
+    digest = core::hashCombine(uint64_t(uniqueCount.load()),
+                               uint64_t(dupCount.load()));
+    digest = core::hashCombine(digest, outBytes.load());
+}
+
+void
+registerDedup()
+{
+    core::Registry::instance().add(
+        kInfo, [] { return std::make_unique<Dedup>(); });
+}
+
+} // namespace workloads
+} // namespace rodinia

@@ -1,0 +1,155 @@
+#include "workloads/parsec/parsec.hh"
+
+#include <cmath>
+
+#include "support/rng.hh"
+
+namespace rodinia {
+namespace workloads {
+
+namespace {
+
+const core::WorkloadInfo kInfo = {
+    "facesim",
+    "Facesim",
+    core::Suite::Parsec,
+    "Unstructured Grid",
+    "Animation",
+    "8192 vertices, 4 timesteps",
+    "Spring-mass deformable-face physics with semi-implicit Euler",
+};
+
+} // namespace
+
+const core::WorkloadInfo &
+Facesim::info() const
+{
+    return kInfo;
+}
+
+void
+Facesim::runCpu(trace::TraceSession &session, core::Scale scale)
+{
+    int vertices, steps;
+    switch (scale) {
+      case core::Scale::Tiny:
+        vertices = 1024;
+        steps = 2;
+        break;
+      case core::Scale::Small:
+        vertices = 4096;
+        steps = 3;
+        break;
+      default:
+        vertices = 8192;
+        steps = 4;
+        break;
+    }
+    const int springsPerVertex = 4;
+
+    Rng rng(0xFACE);
+    std::vector<float> posX(vertices), posY(vertices), posZ(vertices);
+    std::vector<float> velX(vertices, 0.0f), velY(vertices, 0.0f),
+        velZ(vertices, 0.0f);
+    std::vector<float> frcX(vertices, 0.0f), frcY(vertices, 0.0f),
+        frcZ(vertices, 0.0f);
+    std::vector<int> springTo(size_t(vertices) * springsPerVertex);
+    std::vector<float> restLen(size_t(vertices) * springsPerVertex);
+    for (int i = 0; i < vertices; ++i) {
+        posX[i] = float(rng.uniform(0.0, 10.0));
+        posY[i] = float(rng.uniform(0.0, 10.0));
+        posZ[i] = float(rng.uniform(0.0, 10.0));
+        for (int s = 0; s < springsPerVertex; ++s) {
+            // Mostly local connectivity (a face mesh), some long range.
+            int o;
+            if (rng.chance(0.9))
+                o = std::min(vertices - 1,
+                             i + 1 + int(rng.below(16)));
+            else
+                o = int(rng.below(uint64_t(vertices)));
+            springTo[size_t(i) * springsPerVertex + s] = o;
+            restLen[size_t(i) * springsPerVertex + s] =
+                float(rng.uniform(0.5, 2.0));
+        }
+    }
+    const int nt = session.numThreads();
+    const float k = 5.0f, dt = 0.01f, damp = 0.98f;
+
+    session.run([&](trace::ThreadCtx &ctx) {
+        // Hot-code size of the application this
+        // workload models (Fig. 11 substitution).
+        ctx.codeRegion(250 * 1024);
+        const int t = ctx.tid();
+        const int lo = vertices * t / nt;
+        const int hi = vertices * (t + 1) / nt;
+
+        for (int step = 0; step < steps; ++step) {
+            // Force gather: each thread owns its vertex range;
+            // spring partners may live in other threads' ranges
+            // (read sharing at partition boundaries).
+            for (int i = lo; i < hi; ++i) {
+                float fx = 0.0f, fy = 0.0f, fz = -9.8f;
+                ctx.load(&posX[i], 4);
+                ctx.load(&posY[i], 4);
+                ctx.load(&posZ[i], 4);
+                for (int s = 0; s < springsPerVertex; ++s) {
+                    int o = ctx.ld(
+                        &springTo[size_t(i) * springsPerVertex + s]);
+                    float rl = ctx.ld(
+                        &restLen[size_t(i) * springsPerVertex + s]);
+                    ctx.load(&posX[o], 4);
+                    ctx.load(&posY[o], 4);
+                    ctx.load(&posZ[o], 4);
+                    float dx = posX[o] - posX[i];
+                    float dy = posY[o] - posY[i];
+                    float dz = posZ[o] - posZ[i];
+                    float len =
+                        std::sqrt(dx * dx + dy * dy + dz * dz) + 1e-6f;
+                    float f = k * (len - rl) / len;
+                    ctx.fp(14);
+                    fx += f * dx;
+                    fy += f * dy;
+                    fz += f * dz;
+                }
+                frcX[i] = fx;
+                frcY[i] = fy;
+                frcZ[i] = fz;
+                ctx.store(&frcX[i], 4);
+                ctx.store(&frcY[i], 4);
+                ctx.store(&frcZ[i], 4);
+            }
+            ctx.barrier();
+
+            // Integrate.
+            for (int i = lo; i < hi; ++i) {
+                ctx.load(&frcX[i], 4);
+                ctx.load(&velX[i], 4);
+                ctx.fp(12);
+                velX[i] = (velX[i] + dt * frcX[i]) * damp;
+                velY[i] = (velY[i] + dt * frcY[i]) * damp;
+                velZ[i] = (velZ[i] + dt * frcZ[i]) * damp;
+                posX[i] += dt * velX[i];
+                posY[i] += dt * velY[i];
+                posZ[i] += dt * velZ[i];
+                ctx.store(&posX[i], 4);
+                ctx.store(&posY[i], 4);
+                ctx.store(&posZ[i], 4);
+            }
+            ctx.barrier();
+        }
+    });
+
+    digest = core::hashRange(posX.begin(), posX.end());
+    digest = core::hashCombine(
+        digest, core::hashRange(posZ.begin(), posZ.end()));
+}
+
+void
+registerFacesim()
+{
+    core::Registry::instance().add(
+        kInfo, [] { return std::make_unique<Facesim>(); });
+}
+
+} // namespace workloads
+} // namespace rodinia

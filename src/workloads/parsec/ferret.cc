@@ -1,0 +1,203 @@
+#include "workloads/parsec/parsec.hh"
+
+#include <atomic>
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "workloads/parsec/pipeline.hh"
+
+namespace rodinia {
+namespace workloads {
+
+namespace {
+
+const core::WorkloadInfo kInfo = {
+    "ferret",
+    "Ferret",
+    core::Suite::Parsec,
+    "MapReduce",
+    "Similarity Search",
+    "256 queries vs 8192-image index, 4-stage pipeline",
+    "Pipelined content-based similarity search with LSH probing",
+};
+
+constexpr int kDim = 64;
+constexpr int kTables = 8;
+constexpr int kCandidates = 48;
+
+struct Query
+{
+    int id;
+    std::vector<float> feature;
+};
+
+struct Probed
+{
+    int id;
+    std::vector<float> feature;
+    std::vector<int> candidates;
+};
+
+} // namespace
+
+const core::WorkloadInfo &
+Ferret::info() const
+{
+    return kInfo;
+}
+
+void
+Ferret::runCpu(trace::TraceSession &session, core::Scale scale)
+{
+    int dbSize, queries;
+    switch (scale) {
+      case core::Scale::Tiny:
+        dbSize = 1024;
+        queries = 32;
+        break;
+      case core::Scale::Small:
+        dbSize = 4096;
+        queries = 128;
+        break;
+      default:
+        dbSize = 8192;
+        queries = 256;
+        break;
+    }
+    const int nt = session.numThreads();
+    if (nt < 3)
+        fatal("ferret's pipeline needs at least 3 threads, got ", nt);
+
+    Rng rng(0xFE44E7);
+    // Image database: feature vectors plus LSH hyperplanes/buckets.
+    std::vector<float> db(size_t(dbSize) * kDim);
+    for (auto &v : db)
+        v = float(rng.gaussian());
+    std::vector<float> planes(size_t(kTables) * kDim);
+    for (auto &v : planes)
+        v = float(rng.gaussian());
+
+    constexpr int kBuckets = 256;
+    std::vector<std::vector<int>> buckets(size_t(kTables) * kBuckets);
+    auto hashOf = [&](const float *vec, int table) {
+        // 8 sign bits from shifted dot products with one hyperplane.
+        unsigned h = 0;
+        for (int b = 0; b < 8; ++b) {
+            double dot = 0.0;
+            for (int f = 0; f < kDim; f += 8)
+                dot += vec[f] * planes[size_t(table) * kDim +
+                                       (f + b) % kDim];
+            if (dot > 0.0)
+                h |= 1u << b;
+        }
+        return h;
+    };
+    for (int i = 0; i < dbSize; ++i)
+        for (int tb = 0; tb < kTables; ++tb)
+            buckets[size_t(tb) * kBuckets +
+                    hashOf(&db[size_t(i) * kDim], tb)]
+                .push_back(i);
+
+    BoundedQueue<Query> extractQ(64);
+    BoundedQueue<Probed> rankQ(64);
+    std::vector<int> best(queries, -1);
+    std::atomic<int> extractorsLeft{std::max(1, (nt - 2) / 2)};
+
+    session.run([&](trace::ThreadCtx &ctx) {
+        // Hot-code size of the application this
+        // workload models (Fig. 11 substitution).
+        ctx.codeRegion(150 * 1024);
+        const int t = ctx.tid();
+        const int extractors = std::max(1, (nt - 2) / 2);
+
+        if (t == 0) {
+            // Stage 1: synthesize/segment query images.
+            Rng qrng(0x9E44);
+            for (int q = 0; q < queries; ++q) {
+                Query qu;
+                qu.id = q;
+                qu.feature.resize(kDim);
+                int base = int(qrng.below(uint64_t(dbSize)));
+                for (int f = 0; f < kDim; ++f) {
+                    ctx.load(&db[size_t(base) * kDim + f], 4);
+                    ctx.fp(2);
+                    qu.feature[f] = db[size_t(base) * kDim + f] +
+                                    0.1f * float(qrng.gaussian());
+                }
+                extractQ.push(std::move(qu));
+            }
+            extractQ.close();
+        } else if (t <= extractors) {
+            // Stage 2: feature normalization + LSH index probe.
+            while (auto q = extractQ.pop()) {
+                float norm = 0.0f;
+                for (int f = 0; f < kDim; ++f) {
+                    ctx.fp(2);
+                    norm += q->feature[f] * q->feature[f];
+                }
+                norm = std::sqrt(norm) + 1e-6f;
+                for (int f = 0; f < kDim; ++f)
+                    q->feature[f] /= norm;
+                ctx.fp(kDim + 2);
+
+                Probed pr;
+                pr.id = q->id;
+                pr.feature = q->feature;
+                for (int tb = 0; tb < kTables; ++tb) {
+                    ctx.load(&planes[size_t(tb) * kDim], 16);
+                    ctx.fp(2 * kDim);
+                    unsigned h = hashOf(q->feature.data(), tb);
+                    const auto &bucket =
+                        buckets[size_t(tb) * kBuckets + h];
+                    for (int cand : bucket) {
+                        ctx.load(&bucket[0], 4);
+                        ctx.branch();
+                        if (int(pr.candidates.size()) < kCandidates)
+                            pr.candidates.push_back(cand);
+                    }
+                }
+                rankQ.push(std::move(pr));
+            }
+            if (extractorsLeft.fetch_sub(1) == 1)
+                rankQ.close();
+        } else {
+            // Stage 3: rank candidates by true distance.
+            while (auto pr = rankQ.pop()) {
+                float bestDist = 1e30f;
+                int bestId = -1;
+                for (int cand : pr->candidates) {
+                    float dist = 0.0f;
+                    for (int f = 0; f < kDim; f += 4) {
+                        ctx.load(&db[size_t(cand) * kDim + f], 16);
+                        ctx.fp(3);
+                        for (int u = 0; u < 4; ++u) {
+                            float d = db[size_t(cand) * kDim + f + u] -
+                                      pr->feature[f + u];
+                            dist += d * d;
+                        }
+                    }
+                    ctx.branch();
+                    if (dist < bestDist) {
+                        bestDist = dist;
+                        bestId = cand;
+                    }
+                }
+                best[pr->id] = bestId;
+                ctx.store(&best[pr->id], 4);
+            }
+        }
+    });
+
+    digest = core::hashRange(best.begin(), best.end());
+}
+
+void
+registerFerret()
+{
+    core::Registry::instance().add(
+        kInfo, [] { return std::make_unique<Ferret>(); });
+}
+
+} // namespace workloads
+} // namespace rodinia

@@ -1,0 +1,222 @@
+#include "workloads/parsec/parsec.hh"
+
+#include <cmath>
+
+#include "support/rng.hh"
+
+namespace rodinia {
+namespace workloads {
+
+namespace {
+
+const core::WorkloadInfo kInfo = {
+    "fluidanimate",
+    "Fluidanimate",
+    core::Suite::Parsec,
+    "Structured Grid",
+    "Animation",
+    "8192 particles, 2 frames",
+    "Smoothed-particle-hydrodynamics fluid simulation",
+};
+
+} // namespace
+
+const core::WorkloadInfo &
+Fluidanimate::info() const
+{
+    return kInfo;
+}
+
+void
+Fluidanimate::runCpu(trace::TraceSession &session, core::Scale scale)
+{
+    int particles, frames;
+    switch (scale) {
+      case core::Scale::Tiny:
+        particles = 1024;
+        frames = 1;
+        break;
+      case core::Scale::Small:
+        particles = 4096;
+        frames = 2;
+        break;
+      default:
+        particles = 8192;
+        frames = 2;
+        break;
+    }
+    const int gridN = 16; //!< cells per axis
+    const float cell = 1.0f;
+    const float h = 1.0f, h2 = h * h;
+
+    Rng rng(0xF1D);
+    std::vector<float> px(particles), py(particles), pz(particles);
+    std::vector<float> vx(particles, 0.0f), vy(particles, 0.0f),
+        vz(particles, 0.0f);
+    std::vector<float> density(particles, 0.0f);
+    for (int i = 0; i < particles; ++i) {
+        px[i] = float(rng.uniform(0.0, gridN * cell));
+        py[i] = float(rng.uniform(0.0, gridN * cell));
+        pz[i] = float(rng.uniform(0.0, gridN * cell));
+    }
+
+    // Cell lists, rebuilt each frame by thread 0.
+    std::vector<std::vector<int>> cells(size_t(gridN) * gridN * gridN);
+    auto cellOf = [&](int i) {
+        int cx = std::min(gridN - 1, std::max(0, int(px[i] / cell)));
+        int cy = std::min(gridN - 1, std::max(0, int(py[i] / cell)));
+        int cz = std::min(gridN - 1, std::max(0, int(pz[i] / cell)));
+        return (size_t(cz) * gridN + cy) * gridN + cx;
+    };
+    const int nt = session.numThreads();
+
+    session.run([&](trace::ThreadCtx &ctx) {
+        // Hot-code size of the application this
+        // workload models (Fig. 11 substitution).
+        ctx.codeRegion(60 * 1024);
+        const int t = ctx.tid();
+        const int lo = particles * t / nt;
+        const int hi = particles * (t + 1) / nt;
+
+        for (int f = 0; f < frames; ++f) {
+            if (t == 0) {
+                for (auto &c : cells)
+                    c.clear();
+                for (int i = 0; i < particles; ++i) {
+                    ctx.load(&px[i], 12);
+                    ctx.alu(6);
+                    cells[cellOf(i)].push_back(i);
+                }
+            }
+            ctx.barrier();
+
+            // Density pass over neighboring cells.
+            for (int i = lo; i < hi; ++i) {
+                float rho = 0.0f;
+                int cx = std::min(gridN - 1,
+                                  std::max(0, int(px[i] / cell)));
+                int cy = std::min(gridN - 1,
+                                  std::max(0, int(py[i] / cell)));
+                int cz = std::min(gridN - 1,
+                                  std::max(0, int(pz[i] / cell)));
+                ctx.load(&px[i], 12);
+                for (int dz = -1; dz <= 1; ++dz) {
+                    for (int dy = -1; dy <= 1; ++dy) {
+                        for (int dx = -1; dx <= 1; ++dx) {
+                            int nx = cx + dx, ny = cy + dy,
+                                nz = cz + dz;
+                            ctx.branch();
+                            if (nx < 0 || ny < 0 || nz < 0 ||
+                                nx >= gridN || ny >= gridN ||
+                                nz >= gridN)
+                                continue;
+                            const auto &bucket =
+                                cells[(size_t(nz) * gridN + ny) *
+                                          gridN +
+                                      nx];
+                            for (int j : bucket) {
+                                ctx.load(&bucket[0], 4);
+                                ctx.load(&px[j], 12);
+                                float ddx = px[j] - px[i];
+                                float ddy = py[j] - py[i];
+                                float ddz = pz[j] - pz[i];
+                                float r2 = ddx * ddx + ddy * ddy +
+                                           ddz * ddz;
+                                ctx.fp(8);
+                                ctx.branch();
+                                if (r2 < h2) {
+                                    float w = h2 - r2;
+                                    rho += w * w * w;
+                                    ctx.fp(3);
+                                }
+                            }
+                        }
+                    }
+                }
+                density[i] = rho;
+                ctx.store(&density[i], 4);
+            }
+            ctx.barrier();
+
+            // Force + integration pass (pressure from density).
+            for (int i = lo; i < hi; ++i) {
+                float pi = (ctx.ld(&density[i]) - 1.0f) * 2.0f;
+                float fx2 = 0.0f, fy2 = 0.0f, fz2 = -9.8f;
+                int cx = std::min(gridN - 1,
+                                  std::max(0, int(px[i] / cell)));
+                int cy = std::min(gridN - 1,
+                                  std::max(0, int(py[i] / cell)));
+                int cz = std::min(gridN - 1,
+                                  std::max(0, int(pz[i] / cell)));
+                for (int dz = -1; dz <= 1; ++dz) {
+                    for (int dy = -1; dy <= 1; ++dy) {
+                        for (int dx = -1; dx <= 1; ++dx) {
+                            int nx = cx + dx, ny = cy + dy,
+                                nz = cz + dz;
+                            ctx.branch();
+                            if (nx < 0 || ny < 0 || nz < 0 ||
+                                nx >= gridN || ny >= gridN ||
+                                nz >= gridN)
+                                continue;
+                            const auto &bucket =
+                                cells[(size_t(nz) * gridN + ny) *
+                                          gridN +
+                                      nx];
+                            for (int j : bucket) {
+                                if (j == i)
+                                    continue;
+                                ctx.load(&px[j], 12);
+                                ctx.load(&density[j], 4);
+                                float ddx = px[j] - px[i];
+                                float ddy = py[j] - py[i];
+                                float ddz = pz[j] - pz[i];
+                                float r2 = ddx * ddx + ddy * ddy +
+                                           ddz * ddz;
+                                ctx.fp(10);
+                                ctx.branch();
+                                if (r2 < h2 && r2 > 1e-8f) {
+                                    float pj =
+                                        (density[j] - 1.0f) * 2.0f;
+                                    float s = -(pi + pj) /
+                                              (2.0f * (r2 + 0.1f));
+                                    fx2 += s * ddx;
+                                    fy2 += s * ddy;
+                                    fz2 += s * ddz;
+                                    ctx.fp(9);
+                                }
+                            }
+                        }
+                    }
+                }
+                const float dt = 0.002f;
+                vx[i] += dt * fx2;
+                vy[i] += dt * fy2;
+                vz[i] += dt * fz2;
+                px[i] = std::min(float(gridN) - 0.01f,
+                                 std::max(0.0f, px[i] + dt * vx[i]));
+                py[i] = std::min(float(gridN) - 0.01f,
+                                 std::max(0.0f, py[i] + dt * vy[i]));
+                pz[i] = std::min(float(gridN) - 0.01f,
+                                 std::max(0.0f, pz[i] + dt * vz[i]));
+                ctx.fp(12);
+                ctx.store(&px[i], 12);
+                ctx.store(&vx[i], 12);
+            }
+            ctx.barrier();
+        }
+    });
+
+    digest = core::hashRange(px.begin(), px.end());
+    digest = core::hashCombine(digest,
+                               core::hashRange(pz.begin(), pz.end()));
+}
+
+void
+registerFluidanimate()
+{
+    core::Registry::instance().add(
+        kInfo, [] { return std::make_unique<Fluidanimate>(); });
+}
+
+} // namespace workloads
+} // namespace rodinia

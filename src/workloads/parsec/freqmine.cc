@@ -1,0 +1,209 @@
+#include "workloads/parsec/parsec.hh"
+
+#include <algorithm>
+
+#include "support/rng.hh"
+
+namespace rodinia {
+namespace workloads {
+
+namespace {
+
+const core::WorkloadInfo kInfo = {
+    "freqmine",
+    "Freqmine",
+    core::Suite::Parsec,
+    "MapReduce",
+    "Data Mining",
+    "32768 transactions, 512 items",
+    "Frequent-itemset mining with an FP-tree prefix structure",
+};
+
+/** FP-tree node: child list threaded through sibling pointers. */
+struct FpNode
+{
+    int item = -1;
+    int count = 0;
+    int parent = -1;
+    int firstChild = -1;
+    int nextSibling = -1;
+};
+
+} // namespace
+
+const core::WorkloadInfo &
+Freqmine::info() const
+{
+    return kInfo;
+}
+
+void
+Freqmine::runCpu(trace::TraceSession &session, core::Scale scale)
+{
+    int txns, items;
+    switch (scale) {
+      case core::Scale::Tiny:
+        txns = 2048;
+        items = 128;
+        break;
+      case core::Scale::Small:
+        txns = 8192;
+        items = 256;
+        break;
+      default:
+        txns = 32768;
+        items = 512;
+        break;
+    }
+    const int avgLen = 8;
+
+    // Zipf-ish transactions: low item ids are much more frequent.
+    Rng rng(0xF4E0);
+    std::vector<int> txStart(txns + 1, 0);
+    std::vector<int> txItems;
+    for (int t = 0; t < txns; ++t) {
+        int len = 2 + int(rng.below(uint64_t(2 * avgLen - 3)));
+        std::vector<int> tx;
+        for (int k = 0; k < len; ++k) {
+            double u = rng.uniform();
+            int item = int(double(items) * u * u); // skewed
+            if (item >= items)
+                item = items - 1;
+            tx.push_back(item);
+        }
+        std::sort(tx.begin(), tx.end());
+        tx.erase(std::unique(tx.begin(), tx.end()), tx.end());
+        for (int it : tx)
+            txItems.push_back(it);
+        txStart[t + 1] = int(txItems.size());
+    }
+
+    const int nt = session.numThreads();
+    std::vector<std::vector<int>> localCounts(
+        nt, std::vector<int>(items, 0));
+    std::vector<int> freq(items, 0);
+    // Per-thread FP-trees over the thread's transaction slice (the
+    // parallel tree-building phase); roots merged logically by
+    // summing per-item path counts.
+    std::vector<std::vector<FpNode>> trees(nt);
+    std::vector<uint64_t> localSig(nt, 0);
+
+    session.run([&](trace::ThreadCtx &ctx) {
+        // Hot-code size of the application this
+        // workload models (Fig. 11 substitution).
+        ctx.codeRegion(80 * 1024);
+        const int t = ctx.tid();
+        const int lo = txns * t / nt;
+        const int hi = txns * (t + 1) / nt;
+
+        // Pass 1: item-frequency histogram.
+        auto &counts = localCounts[t];
+        for (int tx = lo; tx < hi; ++tx) {
+            for (int k = txStart[tx]; k < txStart[tx + 1]; ++k) {
+                int item = ctx.ld(&txItems[k]);
+                ctx.alu(1);
+                counts[item]++;
+                ctx.store(&counts[item], 4);
+            }
+        }
+        ctx.barrier();
+        if (t == 0) {
+            for (int i = 0; i < items; ++i) {
+                int s = 0;
+                for (int w = 0; w < nt; ++w) {
+                    ctx.load(&localCounts[w][i], 4);
+                    ctx.alu(1);
+                    s += localCounts[w][i];
+                }
+                freq[i] = s;
+                ctx.store(&freq[i], 4);
+            }
+        }
+        ctx.barrier();
+
+        // Pass 2: build a local FP-tree of frequency-ordered paths.
+        auto &tree = trees[t];
+        tree.push_back(FpNode{}); // root
+        const int minSupport = txns / 64;
+        for (int tx = lo; tx < hi; ++tx) {
+            // Keep frequent items, order by descending frequency.
+            std::vector<int> path;
+            for (int k = txStart[tx]; k < txStart[tx + 1]; ++k) {
+                int item = ctx.ld(&txItems[k]);
+                ctx.load(&freq[item], 4);
+                ctx.branch();
+                if (freq[item] >= minSupport)
+                    path.push_back(item);
+            }
+            std::sort(path.begin(), path.end(), [&](int a, int b) {
+                return freq[a] != freq[b] ? freq[a] > freq[b] : a < b;
+            });
+            ctx.alu(uint64_t(path.size()) * 2);
+
+            // Insert the path, chasing child pointers.
+            int node = 0;
+            for (int item : path) {
+                int child = ctx.ld(&tree[node].firstChild);
+                int found = -1;
+                while (child >= 0) {
+                    ctx.load(&tree[child].item, 4);
+                    ctx.branch();
+                    if (tree[child].item == item) {
+                        found = child;
+                        break;
+                    }
+                    child = ctx.ld(&tree[child].nextSibling);
+                }
+                if (found < 0) {
+                    FpNode n;
+                    n.item = item;
+                    n.parent = node;
+                    n.nextSibling = tree[node].firstChild;
+                    tree.push_back(n);
+                    found = int(tree.size()) - 1;
+                    tree[node].firstChild = found;
+                    ctx.store(&tree[node].firstChild, 4);
+                    ctx.store(&tree[found], sizeof(FpNode));
+                }
+                tree[found].count++;
+                ctx.store(&tree[found].count, 4);
+                node = found;
+            }
+        }
+        ctx.barrier();
+
+        // Pass 3: mine frequent 2-itemsets from the local tree by
+        // walking each node's parent chain.
+        uint64_t sig = 1469598103934665603ULL;
+        for (size_t ni = 1; ni < tree.size(); ++ni) {
+            ctx.load(&tree[ni], sizeof(FpNode));
+            int a = tree[ni].item;
+            int up = tree[ni].parent;
+            while (up > 0) {
+                ctx.load(&tree[up].item, 4);
+                ctx.alu(2);
+                sig = core::hashCombine(
+                    sig, (uint64_t(a) << 20) ^ uint64_t(tree[up].item) ^
+                             (uint64_t(tree[ni].count) << 40));
+                up = tree[up].parent;
+            }
+            ctx.branch();
+        }
+        localSig[t] = sig;
+    });
+
+    uint64_t h = core::hashRange(freq.begin(), freq.end());
+    for (int t = 0; t < nt; ++t)
+        h = core::hashCombine(h, localSig[t]);
+    digest = h;
+}
+
+void
+registerFreqmine()
+{
+    core::Registry::instance().add(
+        kInfo, [] { return std::make_unique<Freqmine>(); });
+}
+
+} // namespace workloads
+} // namespace rodinia

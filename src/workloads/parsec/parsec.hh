@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Parsec-analog workload declarations (Table V).
+ *
+ * Each class re-implements the algorithmic core of one Parsec
+ * application at reduced scale, parallelized the way the original is
+ * (data-parallel or software pipeline), so that instruction mix,
+ * working-set, and sharing behavior land in the same qualitative
+ * regions as the paper's measurements. StreamCluster is shared with
+ * the Rodinia suite and lives in workloads/rodinia.
+ */
+
+#ifndef RODINIA_WORKLOADS_PARSEC_PARSEC_HH
+#define RODINIA_WORKLOADS_PARSEC_PARSEC_HH
+
+#include "core/workload.hh"
+
+namespace rodinia {
+namespace workloads {
+
+/** Declares a CPU-only Parsec-analog workload class. */
+#define RODINIA_PARSEC_WORKLOAD(ClassName)                                 \
+    class ClassName : public core::Workload                                \
+    {                                                                      \
+      public:                                                              \
+        const core::WorkloadInfo &info() const override;                   \
+        void runCpu(trace::TraceSession &session,                          \
+                    core::Scale scale) override;                           \
+        uint64_t checksum() const override { return digest; }              \
+                                                                           \
+      private:                                                             \
+        uint64_t digest = 0;                                               \
+    }
+
+/** Black-Scholes option pricing: embarrassingly parallel FP math. */
+RODINIA_PARSEC_WORKLOAD(Blackscholes);
+/** Particle-filter body tracking over a shared observation image. */
+RODINIA_PARSEC_WORKLOAD(Bodytrack);
+/** Simulated-annealing netlist placement with random swaps. */
+RODINIA_PARSEC_WORKLOAD(Canneal);
+/** Pipelined chunking + deduplication + compression. */
+RODINIA_PARSEC_WORKLOAD(Dedup);
+/** Spring-mass face physics: gather forces, integrate vertices. */
+RODINIA_PARSEC_WORKLOAD(Facesim);
+/** Pipelined content-based similarity search. */
+RODINIA_PARSEC_WORKLOAD(Ferret);
+/** Smoothed-particle-hydrodynamics fluid animation. */
+RODINIA_PARSEC_WORKLOAD(Fluidanimate);
+/** Frequent-itemset mining with an FP-tree. */
+RODINIA_PARSEC_WORKLOAD(Freqmine);
+/** Whitted-style ray tracing of a sphere scene. */
+RODINIA_PARSEC_WORKLOAD(Raytrace);
+/** Monte-Carlo swaption pricing (HJM-style paths). */
+RODINIA_PARSEC_WORKLOAD(Swaptions);
+/** Streaming image-transform pipeline over a large image. */
+RODINIA_PARSEC_WORKLOAD(Vips);
+/** H.264-style full-search motion estimation. */
+RODINIA_PARSEC_WORKLOAD(X264);
+
+#undef RODINIA_PARSEC_WORKLOAD
+
+void registerBlackscholes();
+void registerBodytrack();
+void registerCanneal();
+void registerDedup();
+void registerFacesim();
+void registerFerret();
+void registerFluidanimate();
+void registerFreqmine();
+void registerRaytrace();
+void registerSwaptions();
+void registerVips();
+void registerX264();
+
+} // namespace workloads
+} // namespace rodinia
+
+#endif // RODINIA_WORKLOADS_PARSEC_PARSEC_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Bounded work queue for software-pipelined workloads.
+ *
+ * Dedup and Ferret reproduce Parsec's pipeline parallelism: threads
+ * take stage roles and pass work items through bounded queues. The
+ * queue itself is ordinary synchronized code (its accesses are not
+ * instrumented, matching how Pin-based studies attribute time to the
+ * application's work rather than to the runtime).
+ */
+
+#ifndef RODINIA_WORKLOADS_PARSEC_PIPELINE_HH
+#define RODINIA_WORKLOADS_PARSEC_PIPELINE_HH
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace rodinia {
+namespace workloads {
+
+/** Bounded multi-producer multi-consumer queue of T. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity = 64) : capacity(capacity) {}
+
+    /** Push one item; blocks while the queue is full. */
+    void
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        notFull.wait(lock,
+                     [this] { return items.size() < capacity; });
+        items.push_back(std::move(item));
+        notEmpty.notify_one();
+    }
+
+    /**
+     * Pop one item; blocks until an item arrives or the queue is
+     * closed and drained (then returns nullopt).
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        notEmpty.wait(lock,
+                      [this] { return !items.empty() || closed; });
+        if (items.empty())
+            return std::nullopt;
+        T item = std::move(items.front());
+        items.pop_front();
+        notFull.notify_one();
+        return item;
+    }
+
+    /** Signal that no more items will be pushed. */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        closed = true;
+        notEmpty.notify_all();
+    }
+
+  private:
+    size_t capacity;
+    std::mutex mtx;
+    std::condition_variable notFull;
+    std::condition_variable notEmpty;
+    std::deque<T> items;
+    bool closed = false;
+};
+
+} // namespace workloads
+} // namespace rodinia
+
+#endif // RODINIA_WORKLOADS_PARSEC_PIPELINE_HH

@@ -1,0 +1,173 @@
+#include "workloads/parsec/parsec.hh"
+
+#include <cmath>
+
+#include "support/rng.hh"
+
+namespace rodinia {
+namespace workloads {
+
+namespace {
+
+const core::WorkloadInfo kInfo = {
+    "raytrace",
+    "Raytrace",
+    core::Suite::Parsec,
+    "Dense Linear Algebra",
+    "Visualization",
+    "96x96 image, 32 spheres, shadows",
+    "Whitted-style ray tracing of a procedural sphere scene",
+};
+
+struct Sphere
+{
+    float cx, cy, cz, r;
+    float colR, colG, colB;
+    float pad = 0.0f;
+};
+
+/** Ray-sphere intersection; returns hit distance or a miss. */
+inline float
+intersect(const Sphere &s, float ox, float oy, float oz, float dx,
+          float dy, float dz)
+{
+    float lx = s.cx - ox, ly = s.cy - oy, lz = s.cz - oz;
+    float b = lx * dx + ly * dy + lz * dz;
+    float c = lx * lx + ly * ly + lz * lz - s.r * s.r;
+    float disc = b * b - c;
+    if (disc < 0.0f)
+        return -1.0f;
+    float t = b - std::sqrt(disc);
+    return t > 1e-4f ? t : -1.0f;
+}
+
+} // namespace
+
+const core::WorkloadInfo &
+Raytrace::info() const
+{
+    return kInfo;
+}
+
+void
+Raytrace::runCpu(trace::TraceSession &session, core::Scale scale)
+{
+    int dim, numSpheres;
+    switch (scale) {
+      case core::Scale::Tiny:
+        dim = 32;
+        numSpheres = 16;
+        break;
+      case core::Scale::Small:
+        dim = 64;
+        numSpheres = 24;
+        break;
+      default:
+        dim = 96;
+        numSpheres = 32;
+        break;
+    }
+
+    Rng rng(0x4A97);
+    std::vector<Sphere> spheres(numSpheres);
+    for (auto &s : spheres) {
+        s.cx = float(rng.uniform(-6.0, 6.0));
+        s.cy = float(rng.uniform(-6.0, 6.0));
+        s.cz = float(rng.uniform(6.0, 18.0));
+        s.r = float(rng.uniform(0.5, 2.0));
+        s.colR = float(rng.uniform(0.0, 1.0));
+        s.colG = float(rng.uniform(0.0, 1.0));
+        s.colB = float(rng.uniform(0.0, 1.0));
+    }
+    const float lx = 0.57f, ly = 0.57f, lz = -0.57f; // light dir
+    std::vector<float> image(size_t(dim) * dim * 3, 0.0f);
+    const int nt = session.numThreads();
+
+    session.run([&](trace::ThreadCtx &ctx) {
+        // Hot-code size of the application this
+        // workload models (Fig. 11 substitution).
+        ctx.codeRegion(120 * 1024);
+        const int t = ctx.tid();
+        const int rlo = dim * t / nt;
+        const int rhi = dim * (t + 1) / nt;
+
+        for (int py = rlo; py < rhi; ++py) {
+            for (int px = 0; px < dim; ++px) {
+                float dx = (px - dim / 2) / float(dim);
+                float dy = (py - dim / 2) / float(dim);
+                float dz = 1.0f;
+                float inv = 1.0f /
+                            std::sqrt(dx * dx + dy * dy + dz * dz);
+                dx *= inv;
+                dy *= inv;
+                dz *= inv;
+                ctx.fp(9);
+
+                // Primary ray: closest sphere.
+                float bestT = 1e30f;
+                int hit = -1;
+                for (int s = 0; s < numSpheres; ++s) {
+                    ctx.load(&spheres[s], 32);
+                    ctx.fp(12);
+                    ctx.branch();
+                    float tt = intersect(spheres[s], 0, 0, 0, dx, dy,
+                                         dz);
+                    if (tt > 0.0f && tt < bestT) {
+                        bestT = tt;
+                        hit = s;
+                    }
+                }
+
+                float r = 0.05f, g = 0.05f, b = 0.1f;
+                ctx.branch();
+                if (hit >= 0) {
+                    const Sphere &s = spheres[hit];
+                    float hx = dx * bestT, hy = dy * bestT,
+                          hz = dz * bestT;
+                    float nx = (hx - s.cx) / s.r;
+                    float ny = (hy - s.cy) / s.r;
+                    float nz = (hz - s.cz) / s.r;
+                    float diffuse = std::max(
+                        0.0f, -(nx * lx + ny * ly + nz * lz));
+                    ctx.fp(14);
+
+                    // Shadow ray toward the light.
+                    bool shadow = false;
+                    for (int s2 = 0; s2 < numSpheres && !shadow;
+                         ++s2) {
+                        if (s2 == hit)
+                            continue;
+                        ctx.load(&spheres[s2], 32);
+                        ctx.fp(12);
+                        ctx.branch();
+                        if (intersect(spheres[s2], hx, hy, hz, -lx,
+                                      -ly, -lz) > 0.0f)
+                            shadow = true;
+                    }
+                    float k = shadow ? 0.15f : 0.2f + 0.8f * diffuse;
+                    r = s.colR * k;
+                    g = s.colG * k;
+                    b = s.colB * k;
+                    ctx.fp(4);
+                }
+                size_t idx = (size_t(py) * dim + px) * 3;
+                image[idx] = r;
+                image[idx + 1] = g;
+                image[idx + 2] = b;
+                ctx.store(&image[idx], 12);
+            }
+        }
+    });
+
+    digest = core::hashRange(image.begin(), image.end());
+}
+
+void
+registerRaytrace()
+{
+    core::Registry::instance().add(
+        kInfo, [] { return std::make_unique<Raytrace>(); });
+}
+
+} // namespace workloads
+} // namespace rodinia

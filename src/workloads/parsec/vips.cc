@@ -1,0 +1,155 @@
+#include "workloads/parsec/parsec.hh"
+
+#include <cmath>
+
+#include "support/rng.hh"
+
+namespace rodinia {
+namespace workloads {
+
+namespace {
+
+const core::WorkloadInfo kInfo = {
+    "vips",
+    "Vips",
+    core::Suite::Parsec,
+    "Structured Grid",
+    "Media Processing",
+    "768x768 image, 3-stage transform pipeline",
+    "Streaming image transformations: affine, convolve, levels",
+};
+
+} // namespace
+
+const core::WorkloadInfo &
+Vips::info() const
+{
+    return kInfo;
+}
+
+void
+Vips::runCpu(trace::TraceSession &session, core::Scale scale)
+{
+    int dim;
+    switch (scale) {
+      case core::Scale::Tiny:
+        dim = 192;
+        break;
+      case core::Scale::Small:
+        dim = 384;
+        break;
+      default:
+        dim = 768;
+        break;
+    }
+
+    Rng rng(0x71B5);
+    std::vector<float> src(size_t(dim) * dim);
+    for (auto &v : src)
+        v = float(rng.uniform(0.0, 255.0));
+    std::vector<float> affine(src.size(), 0.0f);
+    std::vector<float> conv(src.size(), 0.0f);
+    std::vector<float> out(src.size(), 0.0f);
+    const int nt = session.numThreads();
+
+    session.run([&](trace::ThreadCtx &ctx) {
+        // Hot-code size of the application this
+        // workload models (Fig. 11 substitution).
+        ctx.codeRegion(220 * 1024);
+        const int t = ctx.tid();
+        const int rlo = dim * t / nt;
+        const int rhi = dim * (t + 1) / nt;
+
+        // Stage 1: affine warp (slight rotation + scale) with
+        // bilinear sampling — strided, data-dependent reads.
+        const float c = 0.998f, s = 0.05f, scale1 = 1.02f;
+        for (int y = rlo; y < rhi; ++y) {
+            for (int x = 0; x < dim; ++x) {
+                float sx = (c * (x - dim / 2) - s * (y - dim / 2)) *
+                               scale1 +
+                           dim / 2;
+                float sy = (s * (x - dim / 2) + c * (y - dim / 2)) *
+                               scale1 +
+                           dim / 2;
+                int ix = int(sx), iy = int(sy);
+                ctx.fp(10);
+                ctx.alu(4);
+                ctx.branch();
+                float v = 0.0f;
+                if (ix >= 0 && iy >= 0 && ix < dim - 1 &&
+                    iy < dim - 1) {
+                    float fx = sx - ix, fy = sy - iy;
+                    ctx.load(&src[size_t(iy) * dim + ix], 8);
+                    ctx.load(&src[size_t(iy + 1) * dim + ix], 8);
+                    ctx.fp(8);
+                    v = src[size_t(iy) * dim + ix] * (1 - fx) *
+                            (1 - fy) +
+                        src[size_t(iy) * dim + ix + 1] * fx * (1 - fy) +
+                        src[size_t(iy + 1) * dim + ix] * (1 - fx) *
+                            fy +
+                        src[size_t(iy + 1) * dim + ix + 1] * fx * fy;
+                }
+                affine[size_t(y) * dim + x] = v;
+                ctx.store(&affine[size_t(y) * dim + x], 4);
+            }
+        }
+        ctx.barrier();
+
+        // Stage 2: 3x3 sharpen convolution, streaming rows.
+        const float kc = 2.0f, kn = -0.25f;
+        for (int y = rlo; y < rhi; ++y) {
+            for (int x = 0; x < dim; x += 4) {
+                size_t i = size_t(y) * dim + x;
+                ctx.load(&affine[i], 16);
+                if (y > 0)
+                    ctx.load(&affine[i - dim], 16);
+                if (y < dim - 1)
+                    ctx.load(&affine[i + dim], 16);
+                ctx.fp(20);
+                for (int u = 0; u < 4 && x + u < dim; ++u) {
+                    int xx = x + u;
+                    float acc = kc * affine[size_t(y) * dim + xx];
+                    if (y > 0)
+                        acc += kn * affine[size_t(y - 1) * dim + xx];
+                    if (y < dim - 1)
+                        acc += kn * affine[size_t(y + 1) * dim + xx];
+                    if (xx > 0)
+                        acc += kn * affine[size_t(y) * dim + xx - 1];
+                    if (xx < dim - 1)
+                        acc += kn * affine[size_t(y) * dim + xx + 1];
+                    conv[size_t(y) * dim + xx] = acc;
+                }
+                ctx.store(&conv[i], 16);
+            }
+        }
+        ctx.barrier();
+
+        // Stage 3: levels adjustment (gamma-ish LUT math).
+        for (int y = rlo; y < rhi; ++y) {
+            for (int x = 0; x < dim; x += 4) {
+                size_t i = size_t(y) * dim + x;
+                ctx.load(&conv[i], 16);
+                ctx.fp(12);
+                for (int u = 0; u < 4 && x + u < dim; ++u) {
+                    float v = conv[i + u];
+                    v = v < 0.0f ? 0.0f : (v > 255.0f ? 255.0f : v);
+                    out[i + u] = 255.0f *
+                                 std::pow(v / 255.0f, 0.9f);
+                }
+                ctx.store(&out[i], 16);
+            }
+        }
+    });
+
+    digest = core::hashRange(out.begin(), out.end());
+}
+
+void
+registerVips()
+{
+    core::Registry::instance().add(
+        kInfo, [] { return std::make_unique<Vips>(); });
+}
+
+} // namespace workloads
+} // namespace rodinia

@@ -1,0 +1,151 @@
+#include "workloads/parsec/parsec.hh"
+
+#include <cstdlib>
+
+#include "support/rng.hh"
+
+namespace rodinia {
+namespace workloads {
+
+namespace {
+
+const core::WorkloadInfo kInfo = {
+    "x264",
+    "X264",
+    core::Suite::Parsec,
+    "Structured Grid",
+    "Media Processing",
+    "3 frames, 128x224, +/-4 full search",
+    "H.264-style full-search motion estimation over macroblocks",
+};
+
+constexpr int kMb = 16; //!< macroblock edge
+
+} // namespace
+
+const core::WorkloadInfo &
+X264::info() const
+{
+    return kInfo;
+}
+
+void
+X264::runCpu(trace::TraceSession &session, core::Scale scale)
+{
+    int rows, cols, frames, range;
+    switch (scale) {
+      case core::Scale::Tiny:
+        rows = 64;
+        cols = 96;
+        frames = 2;
+        range = 2;
+        break;
+      case core::Scale::Small:
+        rows = 96;
+        cols = 160;
+        frames = 2;
+        range = 4;
+        break;
+      default:
+        rows = 128;
+        cols = 224;
+        frames = 3;
+        range = 4;
+        break;
+    }
+
+    // Frame sequence with global motion so the search finds matches.
+    Rng rng(0x264);
+    std::vector<std::vector<uint8_t>> video(frames);
+    video[0].resize(size_t(rows) * cols);
+    for (auto &v : video[0])
+        v = uint8_t(rng.below(256));
+    for (int f = 1; f < frames; ++f) {
+        video[f].resize(size_t(rows) * cols);
+        int mx = (f % 3) - 1, my = ((f + 1) % 3) - 1;
+        for (int r = 0; r < rows; ++r) {
+            for (int c = 0; c < cols; ++c) {
+                int sr = std::min(rows - 1, std::max(0, r + my));
+                int sc = std::min(cols - 1, std::max(0, c + mx));
+                int noise = int(rng.below(7)) - 3;
+                int v = int(video[f - 1][size_t(sr) * cols + sc]) +
+                        noise;
+                video[f][size_t(r) * cols + c] =
+                    uint8_t(std::min(255, std::max(0, v)));
+            }
+        }
+    }
+
+    const int mbRows = rows / kMb, mbCols = cols / kMb;
+    const int numMbs = mbRows * mbCols;
+    std::vector<int> vectors(size_t(frames) * numMbs * 2, 0);
+    const int nt = session.numThreads();
+
+    session.run([&](trace::ThreadCtx &ctx) {
+        // Hot-code size of the application this
+        // workload models (Fig. 11 substitution).
+        ctx.codeRegion(200 * 1024);
+        const int t = ctx.tid();
+        const int lo = numMbs * t / nt;
+        const int hi = numMbs * (t + 1) / nt;
+
+        for (int f = 1; f < frames; ++f) {
+            const auto &cur = video[f];
+            const auto &ref = video[f - 1];
+            for (int mb = lo; mb < hi; ++mb) {
+                const int mr = (mb / mbCols) * kMb;
+                const int mc = (mb % mbCols) * kMb;
+                int bestSad = 1 << 30;
+                int bestDr = 0, bestDc = 0;
+
+                for (int dr = -range; dr <= range; ++dr) {
+                    for (int dc = -range; dc <= range; ++dc) {
+                        int rr = mr + dr, rc = mc + dc;
+                        ctx.branch();
+                        if (rr < 0 || rc < 0 || rr + kMb > rows ||
+                            rc + kMb > cols)
+                            continue;
+                        int sad = 0;
+                        for (int y = 0; y < kMb; ++y) {
+                            // 16-byte SAD rows, as SIMD x264 does.
+                            ctx.load(&cur[size_t(mr + y) * cols + mc],
+                                     16);
+                            ctx.load(&ref[size_t(rr + y) * cols + rc],
+                                     16);
+                            ctx.alu(3);
+                            for (int x = 0; x < kMb; ++x)
+                                sad += std::abs(
+                                    int(cur[size_t(mr + y) * cols +
+                                            mc + x]) -
+                                    int(ref[size_t(rr + y) * cols +
+                                            rc + x]));
+                        }
+                        ctx.branch();
+                        if (sad < bestSad) {
+                            bestSad = sad;
+                            bestDr = dr;
+                            bestDc = dc;
+                        }
+                    }
+                }
+                size_t vi = (size_t(f) * numMbs + mb) * 2;
+                vectors[vi] = bestDr;
+                vectors[vi + 1] = bestDc;
+                ctx.store(&vectors[vi], 8);
+            }
+            ctx.barrier();
+        }
+    });
+
+    digest = core::hashRange(vectors.begin(), vectors.end());
+}
+
+void
+registerX264()
+{
+    core::Registry::instance().add(
+        kInfo, [] { return std::make_unique<X264>(); });
+}
+
+} // namespace workloads
+} // namespace rodinia

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Explicit registration of every built-in workload.
+ *
+ * Registration is an explicit call (rather than static initializers)
+ * so that static-library dead-stripping and initialization order can
+ * never silently drop a benchmark from the suites.
+ */
+
+#include "core/workload.hh"
+#include "workloads/parsec/parsec.hh"
+#include "workloads/rodinia/backprop.hh"
+#include "workloads/rodinia/bfs.hh"
+#include "workloads/rodinia/cfd.hh"
+#include "workloads/rodinia/heartwall.hh"
+#include "workloads/rodinia/hotspot.hh"
+#include "workloads/rodinia/kmeans.hh"
+#include "workloads/rodinia/leukocyte.hh"
+#include "workloads/rodinia/lud.hh"
+#include "workloads/rodinia/mummer.hh"
+#include "workloads/rodinia/nw.hh"
+#include "workloads/rodinia/srad.hh"
+#include "workloads/rodinia/streamcluster.hh"
+
+namespace rodinia {
+namespace core {
+
+void
+registerAllWorkloads()
+{
+    static bool done = false;
+    if (done)
+        return;
+    done = true;
+
+    using namespace workloads;
+    // Rodinia (Table I order).
+    registerKmeans();
+    registerNw();
+    registerHotspot();
+    registerBackprop();
+    registerSrad();
+    registerLeukocyte();
+    registerBfs();
+    registerStreamcluster(); // shared with Parsec
+    registerMummer();
+    registerCfd();
+    registerLud();
+    registerHeartwall();
+    // Parsec (Table V order).
+    registerBlackscholes();
+    registerBodytrack();
+    registerCanneal();
+    registerDedup();
+    registerFacesim();
+    registerFerret();
+    registerFluidanimate();
+    registerFreqmine();
+    registerRaytrace();
+    registerSwaptions();
+    registerVips();
+    registerX264();
+}
+
+} // namespace core
+} // namespace rodinia

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Back Propagation neural-network training (Rodinia; Unstructured
+ * Grid dwarf).
+ *
+ * One forward + one backward pass of a two-layer perceptron. The GPU
+ * forward kernel performs a shared-memory tree reduction over 16x16
+ * input tiles; the paper singles this reduction out as the source of
+ * Back Propagation's partially filled warps (8, 4, 2, 1 active
+ * threads over successive reduction steps).
+ */
+
+#ifndef RODINIA_WORKLOADS_RODINIA_BACKPROP_HH
+#define RODINIA_WORKLOADS_RODINIA_BACKPROP_HH
+
+#include <vector>
+
+#include "core/workload.hh"
+
+namespace rodinia {
+namespace workloads {
+
+class BackProp : public core::Workload
+{
+  public:
+    struct Params
+    {
+        int inputs;  //!< input-layer width
+        int hidden;  //!< hidden-layer width
+        float eta;   //!< learning rate
+    };
+
+    static Params params(core::Scale scale);
+
+    const core::WorkloadInfo &info() const override;
+    void runCpu(trace::TraceSession &session, core::Scale scale) override;
+    int gpuVersions() const override { return 1; }
+    gpusim::LaunchSequence runGpu(core::Scale scale, int version) override;
+    uint64_t checksum() const override { return digest; }
+
+  private:
+    uint64_t digest = 0;
+};
+
+void registerBackprop();
+
+} // namespace workloads
+} // namespace rodinia
+
+#endif // RODINIA_WORKLOADS_RODINIA_BACKPROP_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Breadth-First Search (Rodinia; Graph Traversal dwarf).
+ *
+ * Level-synchronous frontier BFS over a synthetic sparse graph. One
+ * GPU thread per node tests frontier membership and explores
+ * neighbors through uncoalesced global loads; the paper attributes
+ * BFS's low IPC to global-memory overhead and its many low-occupancy
+ * warps to control flow, and shows it gains the most from extra
+ * memory channels and from Fermi's L1 cache.
+ */
+
+#ifndef RODINIA_WORKLOADS_RODINIA_BFS_HH
+#define RODINIA_WORKLOADS_RODINIA_BFS_HH
+
+#include <vector>
+
+#include "core/workload.hh"
+
+namespace rodinia {
+namespace workloads {
+
+/** Synthetic sparse graph in CSR form. */
+struct BfsGraph
+{
+    std::vector<int> rowStart; //!< n + 1 offsets
+    std::vector<int> adj;      //!< edge targets
+    int numNodes = 0;
+
+    /** Deterministic random graph with the given average degree. */
+    static BfsGraph random(int nodes, int avg_degree, uint64_t seed);
+};
+
+class Bfs : public core::Workload
+{
+  public:
+    struct Params
+    {
+        int nodes;
+        int avgDegree;
+    };
+
+    static Params params(core::Scale scale);
+
+    const core::WorkloadInfo &info() const override;
+    void runCpu(trace::TraceSession &session, core::Scale scale) override;
+    int gpuVersions() const override { return 1; }
+    gpusim::LaunchSequence runGpu(core::Scale scale, int version) override;
+    uint64_t checksum() const override { return digest; }
+
+    /** Reference sequential BFS distances, for validation. */
+    static std::vector<int> reference(const BfsGraph &g, int source);
+
+  private:
+    uint64_t digest = 0;
+};
+
+void registerBfs();
+
+} // namespace workloads
+} // namespace rodinia
+
+#endif // RODINIA_WORKLOADS_RODINIA_BFS_HH

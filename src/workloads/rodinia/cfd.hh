@@ -1,0 +1,50 @@
+/**
+ * @file
+ * CFD Euler solver (Rodinia; Unstructured Grid dwarf).
+ *
+ * Finite-volume solver for the 3-D compressible Euler equations on
+ * an unstructured mesh (after Corrigan et al.): per-element flux
+ * accumulation over four faces with neighbor gathers, then explicit
+ * Runge-Kutta time integration. Neighbor indirection produces the
+ * partially uncoalesced, bandwidth-bound access pattern the paper
+ * highlights (CFD is among the biggest beneficiaries of additional
+ * memory channels).
+ */
+
+#ifndef RODINIA_WORKLOADS_RODINIA_CFD_HH
+#define RODINIA_WORKLOADS_RODINIA_CFD_HH
+
+#include <vector>
+
+#include "core/workload.hh"
+
+namespace rodinia {
+namespace workloads {
+
+class Cfd : public core::Workload
+{
+  public:
+    struct Params
+    {
+        int elements;
+        int rkSteps;
+    };
+
+    static Params params(core::Scale scale);
+
+    const core::WorkloadInfo &info() const override;
+    void runCpu(trace::TraceSession &session, core::Scale scale) override;
+    int gpuVersions() const override { return 1; }
+    gpusim::LaunchSequence runGpu(core::Scale scale, int version) override;
+    uint64_t checksum() const override { return digest; }
+
+  private:
+    uint64_t digest = 0;
+};
+
+void registerCfd();
+
+} // namespace workloads
+} // namespace rodinia
+
+#endif // RODINIA_WORKLOADS_RODINIA_CFD_HH

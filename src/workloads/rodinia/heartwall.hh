@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Heart Wall Tracking (Rodinia; Structured Grid dwarf).
+ *
+ * Tracks sample points on the inner and outer walls of a mouse heart
+ * across ultrasound frames. Exhibits braided parallelism — coarse
+ * task parallelism (one thread block per tracked point) combined
+ * with fine data parallelism (template matching within the block) —
+ * and processes each frame in a single kernel, including some
+ * non-parallel per-task computation that slightly under-fills warps,
+ * exactly the structure the paper describes. Tracking templates live
+ * in constant memory (too many parameters for shared memory).
+ */
+
+#ifndef RODINIA_WORKLOADS_RODINIA_HEARTWALL_HH
+#define RODINIA_WORKLOADS_RODINIA_HEARTWALL_HH
+
+#include <vector>
+
+#include "core/workload.hh"
+
+namespace rodinia {
+namespace workloads {
+
+class HeartWall : public core::Workload
+{
+  public:
+    struct Params
+    {
+        int rows;
+        int cols;
+        int frames;
+        int points;   //!< tracked sample points (thread blocks)
+        int tmplSize; //!< square template edge
+        int winSize;  //!< square search-window edge
+    };
+
+    static Params params(core::Scale scale);
+
+    const core::WorkloadInfo &info() const override;
+    void runCpu(trace::TraceSession &session, core::Scale scale) override;
+    int gpuVersions() const override { return 1; }
+    gpusim::LaunchSequence runGpu(core::Scale scale, int version) override;
+    uint64_t checksum() const override { return digest; }
+
+  private:
+    uint64_t digest = 0;
+};
+
+void registerHeartwall();
+
+} // namespace workloads
+} // namespace rodinia
+
+#endif // RODINIA_WORKLOADS_RODINIA_HEARTWALL_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * HotSpot thermal simulation (Rodinia; Structured Grid dwarf).
+ *
+ * Iterative 5-point stencil solving the heat equation on a chip
+ * floorplan: each step updates every cell from its neighbors, its
+ * own temperature, and the local power dissipation. The GPU version
+ * tiles the grid into shared memory with a one-cell halo; the paper
+ * reports HotSpot among the highest-IPC, most shared-memory-bound
+ * Rodinia kernels with little benefit from extra memory channels.
+ */
+
+#ifndef RODINIA_WORKLOADS_RODINIA_HOTSPOT_HH
+#define RODINIA_WORKLOADS_RODINIA_HOTSPOT_HH
+
+#include <vector>
+
+#include "core/workload.hh"
+
+namespace rodinia {
+namespace workloads {
+
+class HotSpot : public core::Workload
+{
+  public:
+    struct Params
+    {
+        int rows;
+        int cols;
+        int iters;
+    };
+
+    static Params params(core::Scale scale);
+
+    const core::WorkloadInfo &info() const override;
+    void runCpu(trace::TraceSession &session, core::Scale scale) override;
+    int gpuVersions() const override { return 1; }
+    gpusim::LaunchSequence runGpu(core::Scale scale, int version) override;
+    uint64_t checksum() const override { return digest; }
+
+    /** Reference (uninstrumented) solver, for validation. */
+    static std::vector<float> reference(const Params &p);
+
+  private:
+    uint64_t digest = 0;
+};
+
+void registerHotspot();
+
+} // namespace workloads
+} // namespace rodinia
+
+#endif // RODINIA_WORKLOADS_RODINIA_HOTSPOT_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Kmeans clustering (Rodinia; Dense Linear Algebra dwarf).
+ *
+ * Iterative distance-based clustering: every point is assigned to the
+ * nearest of k centers, then centers are recomputed as member means.
+ * The GPU implementation follows Rodinia's: one thread per point,
+ * with the (read-only) cluster centers bound to texture memory — the
+ * paper notes Kmeans and Leukocyte improve through texture binding
+ * and are therefore insensitive to memory-channel count (Fig. 4).
+ */
+
+#ifndef RODINIA_WORKLOADS_RODINIA_KMEANS_HH
+#define RODINIA_WORKLOADS_RODINIA_KMEANS_HH
+
+#include <vector>
+
+#include "core/workload.hh"
+
+namespace rodinia {
+namespace workloads {
+
+class Kmeans : public core::Workload
+{
+  public:
+    struct Params
+    {
+        int n;
+        int d;
+        int k;
+        int iters;
+    };
+
+    static Params params(core::Scale scale);
+
+    const core::WorkloadInfo &info() const override;
+    void runCpu(trace::TraceSession &session, core::Scale scale) override;
+    int gpuVersions() const override { return 1; }
+    gpusim::LaunchSequence runGpu(core::Scale scale, int version) override;
+    uint64_t checksum() const override { return digest; }
+
+    /** Final cluster memberships from the most recent run. */
+    const std::vector<int> &memberships() const { return membership; }
+
+  private:
+    std::vector<int> membership;
+    uint64_t digest = 0;
+};
+
+void registerKmeans();
+
+} // namespace workloads
+} // namespace rodinia
+
+#endif // RODINIA_WORKLOADS_RODINIA_KMEANS_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Leukocyte Tracking (Rodinia; Structured Grid dwarf).
+ *
+ * Detects leukocytes in a video frame by computing a GICOV-style
+ * score per interior pixel from samples along a circle (sine/cosine
+ * sample tables and stencil weights in constant memory, the image in
+ * texture memory), then applies a dilation pass. Table III's
+ * incremental versions are reproduced: v1 launches one thread per
+ * pixel and writes scores to global memory; v2 uses persistent
+ * thread blocks that keep intermediate scores in shared memory,
+ * eliminating nearly all global traffic (Boyer et al. [6]).
+ */
+
+#ifndef RODINIA_WORKLOADS_RODINIA_LEUKOCYTE_HH
+#define RODINIA_WORKLOADS_RODINIA_LEUKOCYTE_HH
+
+#include <vector>
+
+#include "core/workload.hh"
+
+namespace rodinia {
+namespace workloads {
+
+class Leukocyte : public core::Workload
+{
+  public:
+    struct Params
+    {
+        int rows;
+        int cols;
+        int samples; //!< circle sample count per pixel
+        int margin;  //!< interior margin (circle radius)
+    };
+
+    static Params params(core::Scale scale);
+
+    const core::WorkloadInfo &info() const override;
+    void runCpu(trace::TraceSession &session, core::Scale scale) override;
+    int gpuVersions() const override { return 2; }
+    gpusim::LaunchSequence runGpu(core::Scale scale, int version) override;
+    uint64_t checksum() const override { return digest; }
+
+  private:
+    uint64_t digest = 0;
+};
+
+void registerLeukocyte();
+
+} // namespace workloads
+} // namespace rodinia
+
+#endif // RODINIA_WORKLOADS_RODINIA_LEUKOCYTE_HH

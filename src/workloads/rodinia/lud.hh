@@ -1,0 +1,56 @@
+/**
+ * @file
+ * LU Decomposition (Rodinia; Dense Linear Algebra dwarf).
+ *
+ * Blocked in-place Doolittle factorization A = L*U without pivoting
+ * (inputs are made diagonally dominant). Per diagonal step the GPU
+ * version runs Rodinia's three kernels — diagonal, perimeter,
+ * internal — with the internal kernel doing shared-memory tile
+ * multiply-accumulates. The paper notes LUD's row/column
+ * dependences limit its shader scalability, and its shared-memory
+ * locality makes it insensitive to memory-channel count.
+ */
+
+#ifndef RODINIA_WORKLOADS_RODINIA_LUD_HH
+#define RODINIA_WORKLOADS_RODINIA_LUD_HH
+
+#include <vector>
+
+#include "core/workload.hh"
+
+namespace rodinia {
+namespace workloads {
+
+class Lud : public core::Workload
+{
+  public:
+    struct Params
+    {
+        int n; //!< matrix dimension (multiple of the 16-wide block)
+    };
+
+    static Params params(core::Scale scale);
+
+    const core::WorkloadInfo &info() const override;
+    void runCpu(trace::TraceSession &session, core::Scale scale) override;
+    int gpuVersions() const override { return 2; }
+    gpusim::LaunchSequence runGpu(core::Scale scale, int version) override;
+    uint64_t checksum() const override { return digest; }
+
+    /** Deterministic diagonally dominant input matrix. */
+    static std::vector<float> makeMatrix(int n);
+
+    /** Factorization result of the most recent run (row-major). */
+    const std::vector<float> &result() const { return out; }
+
+  private:
+    std::vector<float> out;
+    uint64_t digest = 0;
+};
+
+void registerLud();
+
+} // namespace workloads
+} // namespace rodinia
+
+#endif // RODINIA_WORKLOADS_RODINIA_LUD_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * MUMmerGPU sequence alignment (Rodinia; Graph Traversal dwarf).
+ *
+ * High-throughput exact matching of short DNA queries against a
+ * reference sequence. The reference's suffix tree is built on the
+ * CPU with Ukkonen's algorithm (as in Schatz et al.) and traversed
+ * per query on the GPU with the tree bound to texture memory. Query
+ * paths and lengths diverge per thread, producing the severe warp
+ * under-population the paper reports (more than 60% of MUMmer warps
+ * have fewer than 5 active threads), and the tree's size makes
+ * MUMmer the working-set and footprint outlier of the suite.
+ */
+
+#ifndef RODINIA_WORKLOADS_RODINIA_MUMMER_HH
+#define RODINIA_WORKLOADS_RODINIA_MUMMER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/workload.hh"
+
+namespace rodinia {
+namespace workloads {
+
+/**
+ * Suffix tree over a small-alphabet text, built with Ukkonen's
+ * online algorithm in O(n). Alphabet symbols are 0..3 (A,C,G,T)
+ * plus the terminal symbol 4, which must end the text.
+ */
+class SuffixTree
+{
+  public:
+    static constexpr int kAlphabet = 5;
+    static constexpr int kTerm = 4;
+
+    struct Node
+    {
+        int start = -1; //!< edge label start index into the text
+        int end = -1;   //!< exclusive end; leafEnd sentinel for leaves
+        int slink = 0;  //!< suffix link
+        int ch[kAlphabet] = {-1, -1, -1, -1, -1};
+    };
+
+    /**
+     * Build the tree. The optional ThreadCtx instruments the
+     * construction's memory accesses (the paper builds the tree on
+     * the CPU before transferring it to the GPU).
+     */
+    explicit SuffixTree(std::vector<uint8_t> text,
+                        trace::ThreadCtx *ctx = nullptr);
+
+    /**
+     * Length of the longest prefix of q[0..len) that occurs in the
+     * text (uninstrumented reference walk).
+     */
+    int matchLength(const uint8_t *q, int len) const;
+
+    const std::vector<Node> &allNodes() const { return nodes; }
+    const std::vector<uint8_t> &textData() const { return text; }
+    int root() const { return 0; }
+
+    /** Exclusive end index of an edge, resolving the leaf sentinel. */
+    int
+    edgeEnd(const Node &n) const
+    {
+        return n.end == leafSentinel ? int(text.size()) : n.end;
+    }
+
+    static constexpr int leafSentinel = 1 << 29;
+
+  private:
+    void build(trace::ThreadCtx *ctx);
+    int newNode(int start, int end);
+
+    std::vector<uint8_t> text;
+    std::vector<Node> nodes;
+};
+
+class Mummer : public core::Workload
+{
+  public:
+    struct Params
+    {
+        int refLen;
+        int numQueries;
+        int queryLen;
+    };
+
+    static Params params(core::Scale scale);
+
+    const core::WorkloadInfo &info() const override;
+    void runCpu(trace::TraceSession &session, core::Scale scale) override;
+    int gpuVersions() const override { return 1; }
+    gpusim::LaunchSequence runGpu(core::Scale scale, int version) override;
+    uint64_t checksum() const override { return digest; }
+
+  private:
+    uint64_t digest = 0;
+};
+
+void registerMummer();
+
+} // namespace workloads
+} // namespace rodinia
+
+#endif // RODINIA_WORKLOADS_RODINIA_MUMMER_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Needleman-Wunsch global sequence alignment (Rodinia; Dynamic
+ * Programming dwarf).
+ *
+ * Fills the DP score matrix in anti-diagonal wavefronts. The paper
+ * highlights NW's limited per-iteration parallelism (diagonal-strip
+ * dependences), its heavy shared-memory use in the blocked GPU
+ * version, and the resulting low warp occupancy (fewer than 16
+ * active threads per block). Two GPU versions are provided: v1
+ * computes cells straight from global memory; v2 is the blocked
+ * shared-memory implementation shipped with Rodinia.
+ */
+
+#ifndef RODINIA_WORKLOADS_RODINIA_NW_HH
+#define RODINIA_WORKLOADS_RODINIA_NW_HH
+
+#include <vector>
+
+#include "core/workload.hh"
+
+namespace rodinia {
+namespace workloads {
+
+class NeedlemanWunsch : public core::Workload
+{
+  public:
+    struct Params
+    {
+        int n;       //!< sequence length (matrix is (n+1)^2)
+        int penalty; //!< gap penalty
+    };
+
+    static Params params(core::Scale scale);
+
+    const core::WorkloadInfo &info() const override;
+    void runCpu(trace::TraceSession &session, core::Scale scale) override;
+    int gpuVersions() const override { return 2; }
+    gpusim::LaunchSequence runGpu(core::Scale scale, int version) override;
+    uint64_t checksum() const override { return digest; }
+
+    /** Final alignment score (bottom-right DP cell). */
+    int finalScore() const { return score; }
+
+  private:
+    uint64_t digest = 0;
+    int score = 0;
+};
+
+void registerNw();
+
+} // namespace workloads
+} // namespace rodinia
+
+#endif // RODINIA_WORKLOADS_RODINIA_NW_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * SRAD: Speckle Reducing Anisotropic Diffusion (Rodinia; Structured
+ * Grid dwarf).
+ *
+ * Two-pass diffusion filter used on ultrasound imagery: pass one
+ * computes directional derivatives and the diffusion coefficient per
+ * pixel; pass two applies the divergence update. Table III's
+ * incremental versions are reproduced: v1 keeps derivatives and
+ * coefficients in global memory; v2 tiles the image through shared
+ * memory, raising IPC substantially.
+ */
+
+#ifndef RODINIA_WORKLOADS_RODINIA_SRAD_HH
+#define RODINIA_WORKLOADS_RODINIA_SRAD_HH
+
+#include <vector>
+
+#include "core/workload.hh"
+
+namespace rodinia {
+namespace workloads {
+
+class Srad : public core::Workload
+{
+  public:
+    struct Params
+    {
+        int rows;
+        int cols;
+        int iters;
+        float lambda;
+    };
+
+    static Params params(core::Scale scale);
+
+    const core::WorkloadInfo &info() const override;
+    void runCpu(trace::TraceSession &session, core::Scale scale) override;
+    int gpuVersions() const override { return 2; }
+    gpusim::LaunchSequence runGpu(core::Scale scale, int version) override;
+    uint64_t checksum() const override { return digest; }
+
+    /** Reference (uninstrumented) filter, for validation. */
+    static std::vector<float> reference(const Params &p);
+
+  private:
+    uint64_t digest = 0;
+};
+
+void registerSrad();
+
+} // namespace workloads
+} // namespace rodinia
+
+#endif // RODINIA_WORKLOADS_RODINIA_SRAD_HH

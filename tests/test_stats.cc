@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Unit tests for the statistics substrate: matrix ops, Jacobi
+ * eigendecomposition, PCA, hierarchical clustering, Plackett-Burman.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/cluster.hh"
+#include "stats/eigen.hh"
+#include "stats/matrix.hh"
+#include "stats/pca.hh"
+#include "stats/plackett_burman.hh"
+#include "support/rng.hh"
+
+using namespace rodinia;
+using namespace rodinia::stats;
+
+TEST(Matrix, BasicAccessAndTranspose)
+{
+    Matrix m = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 6.0);
+    Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_DOUBLE_EQ(t.at(2, 1), 6.0);
+}
+
+TEST(Matrix, MultiplyMatchesHandComputation)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    Matrix b = Matrix::fromRows({{5, 6}, {7, 8}});
+    Matrix c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c.at(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(Matrix, ColumnStatistics)
+{
+    Matrix m = Matrix::fromRows({{1, 10}, {3, 10}, {5, 10}});
+    auto means = m.colMeans();
+    EXPECT_DOUBLE_EQ(means[0], 3.0);
+    EXPECT_DOUBLE_EQ(means[1], 10.0);
+    auto sds = m.colStddevs();
+    EXPECT_NEAR(sds[0], 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(sds[1], 0.0);
+}
+
+TEST(Matrix, StandardizeHandlesConstantColumns)
+{
+    Matrix m = Matrix::fromRows({{1, 7}, {2, 7}, {3, 7}});
+    Matrix z = m.standardized();
+    // Constant column becomes zero instead of NaN.
+    for (size_t r = 0; r < 3; ++r)
+        EXPECT_DOUBLE_EQ(z.at(r, 1), 0.0);
+    EXPECT_NEAR(z.at(0, 0), -1.0, 1e-12);
+    EXPECT_NEAR(z.at(2, 0), 1.0, 1e-12);
+}
+
+TEST(Matrix, CovarianceIsSymmetric)
+{
+    Rng rng(7);
+    Matrix m(20, 4);
+    for (size_t r = 0; r < 20; ++r)
+        for (size_t c = 0; c < 4; ++c)
+            m.at(r, c) = rng.gaussian();
+    Matrix cov = m.covariance();
+    for (size_t i = 0; i < 4; ++i)
+        for (size_t j = 0; j < 4; ++j)
+            EXPECT_NEAR(cov.at(i, j), cov.at(j, i), 1e-12);
+}
+
+TEST(Eigen, DiagonalMatrix)
+{
+    Matrix m = Matrix::fromRows({{3, 0}, {0, 1}});
+    auto eig = jacobiEigen(m);
+    EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+    EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+}
+
+TEST(Eigen, ReconstructsSymmetricMatrix)
+{
+    Rng rng(13);
+    const size_t n = 6;
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = i; j < n; ++j)
+            m.at(i, j) = m.at(j, i) = rng.gaussian();
+    auto eig = jacobiEigen(m);
+
+    // Reconstruct M = V diag(l) V^T.
+    Matrix d(n, n);
+    for (size_t i = 0; i < n; ++i)
+        d.at(i, i) = eig.values[i];
+    Matrix rec =
+        eig.vectors.multiply(d).multiply(eig.vectors.transposed());
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            EXPECT_NEAR(rec.at(i, j), m.at(i, j), 1e-8);
+}
+
+TEST(Eigen, VectorsAreOrthonormal)
+{
+    Rng rng(99);
+    const size_t n = 5;
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = i; j < n; ++j)
+            m.at(i, j) = m.at(j, i) = rng.uniform();
+    auto eig = jacobiEigen(m);
+    Matrix vtv = eig.vectors.transposed().multiply(eig.vectors);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            EXPECT_NEAR(vtv.at(i, j), i == j ? 1.0 : 0.0, 1e-9);
+}
+
+TEST(Pca, ExplainedVarianceSumsToOne)
+{
+    Rng rng(3);
+    Matrix m(30, 5);
+    for (size_t r = 0; r < 30; ++r)
+        for (size_t c = 0; c < 5; ++c)
+            m.at(r, c) = rng.gaussian() * double(c + 1);
+    auto pca = runPca(m);
+    double total = 0.0;
+    for (double e : pca.explained)
+        total += e;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // Components sorted by decreasing variance.
+    for (size_t i = 1; i < pca.eigenvalues.size(); ++i)
+        EXPECT_GE(pca.eigenvalues[i - 1], pca.eigenvalues[i] - 1e-12);
+}
+
+TEST(Pca, RecoversDominantDirection)
+{
+    // Points along (1, 1)/sqrt(2) with small noise: PC1 must align.
+    Rng rng(21);
+    Matrix m(200, 2);
+    for (size_t r = 0; r < 200; ++r) {
+        double t = rng.gaussian() * 10.0;
+        m.at(r, 0) = t + rng.gaussian() * 0.01;
+        m.at(r, 1) = t + rng.gaussian() * 0.01;
+    }
+    auto pca = runPca(m, false);
+    double x = pca.components.at(0, 0);
+    double y = pca.components.at(1, 0);
+    EXPECT_NEAR(std::fabs(x), std::sqrt(0.5), 1e-3);
+    EXPECT_NEAR(std::fabs(y), std::sqrt(0.5), 1e-3);
+    EXPECT_GT(pca.explained[0], 0.99);
+}
+
+TEST(Pca, ScoresAreUncorrelated)
+{
+    Rng rng(31);
+    Matrix m(60, 4);
+    for (size_t r = 0; r < 60; ++r)
+        for (size_t c = 0; c < 4; ++c)
+            m.at(r, c) = rng.gaussian() + (c == 0 ? m.at(r, 1) : 0.0);
+    auto pca = runPca(m);
+    Matrix cov = pca.scores.covariance();
+    for (size_t i = 0; i < 4; ++i)
+        for (size_t j = 0; j < 4; ++j)
+            if (i != j)
+                EXPECT_NEAR(cov.at(i, j), 0.0, 1e-8);
+}
+
+TEST(Pca, ComponentsForVariance)
+{
+    PcaResult r;
+    r.explained = {0.6, 0.3, 0.1};
+    EXPECT_EQ(r.componentsForVariance(0.5), 1u);
+    EXPECT_EQ(r.componentsForVariance(0.8), 2u);
+    EXPECT_EQ(r.componentsForVariance(1.0), 3u);
+}
+
+TEST(Cluster, TwoObviousClusters)
+{
+    Matrix pts = Matrix::fromRows({
+        {0.0, 0.0}, {0.1, 0.0}, {0.0, 0.1},   // cluster A
+        {9.0, 9.0}, {9.1, 9.0}, {9.0, 9.1},   // cluster B
+    });
+    auto lk = hierarchicalCluster(pts, LinkageMethod::Average);
+    ASSERT_EQ(lk.merges.size(), 5u);
+    auto labels = lk.cut(2);
+    EXPECT_EQ(labels[0], labels[1]);
+    EXPECT_EQ(labels[0], labels[2]);
+    EXPECT_EQ(labels[3], labels[4]);
+    EXPECT_EQ(labels[3], labels[5]);
+    EXPECT_NE(labels[0], labels[3]);
+    // The final merge joins the two far-apart clusters.
+    EXPECT_GT(lk.merges.back().dist, 8.0);
+}
+
+TEST(Cluster, CopheneticDistanceRespectsStructure)
+{
+    Matrix pts = Matrix::fromRows({{0, 0}, {1, 0}, {10, 0}});
+    auto lk = hierarchicalCluster(pts, LinkageMethod::Single);
+    EXPECT_LT(lk.copheneticDistance(0, 1),
+              lk.copheneticDistance(0, 2));
+    EXPECT_DOUBLE_EQ(lk.copheneticDistance(0, 2),
+                     lk.copheneticDistance(1, 2));
+}
+
+TEST(Cluster, LinkageMethodsOrderDistances)
+{
+    Rng rng(5);
+    Matrix pts(12, 3);
+    for (size_t r = 0; r < 12; ++r)
+        for (size_t c = 0; c < 3; ++c)
+            pts.at(r, c) = rng.uniform(0.0, 10.0);
+    auto single = hierarchicalCluster(pts, LinkageMethod::Single);
+    auto complete = hierarchicalCluster(pts, LinkageMethod::Complete);
+    // Complete linkage's final merge distance >= single linkage's.
+    EXPECT_GE(complete.merges.back().dist,
+              single.merges.back().dist - 1e-12);
+}
+
+TEST(Cluster, DendrogramRendersEveryLabel)
+{
+    Matrix pts = Matrix::fromRows({{0, 0}, {1, 0}, {5, 5}, {6, 5}});
+    auto lk = hierarchicalCluster(pts);
+    auto text = renderDendrogram(lk, {"aa", "bb", "cc", "dd"});
+    EXPECT_NE(text.find("aa"), std::string::npos);
+    EXPECT_NE(text.find("bb"), std::string::npos);
+    EXPECT_NE(text.find("cc"), std::string::npos);
+    EXPECT_NE(text.find("dd"), std::string::npos);
+    EXPECT_NE(text.find('+'), std::string::npos);
+}
+
+TEST(Cluster, CutExtremes)
+{
+    Matrix pts = Matrix::fromRows({{0, 0}, {1, 0}, {2, 0}});
+    auto lk = hierarchicalCluster(pts);
+    auto one = lk.cut(1);
+    EXPECT_EQ(one[0], one[1]);
+    EXPECT_EQ(one[1], one[2]);
+    auto all = lk.cut(3);
+    EXPECT_NE(all[0], all[1]);
+    EXPECT_NE(all[1], all[2]);
+}
+
+TEST(PlackettBurman, TwelveRunDesignProperties)
+{
+    auto d = pbDesign(9);
+    EXPECT_EQ(d.runs, 12);
+    EXPECT_EQ(d.factors, 9);
+    // Balance: each factor has 6 highs and 6 lows.
+    for (int f = 0; f < d.factors; ++f) {
+        int highs = 0;
+        for (int r = 0; r < d.runs; ++r)
+            highs += d.signs[r][f] == 1;
+        EXPECT_EQ(highs, 6) << "factor " << f;
+    }
+    // Orthogonality: any two factor columns are uncorrelated.
+    for (int f1 = 0; f1 < d.factors; ++f1) {
+        for (int f2 = f1 + 1; f2 < d.factors; ++f2) {
+            int dot = 0;
+            for (int r = 0; r < d.runs; ++r)
+                dot += d.signs[r][f1] * d.signs[r][f2];
+            EXPECT_EQ(dot, 0) << f1 << "," << f2;
+        }
+    }
+}
+
+TEST(PlackettBurman, RunCountSelection)
+{
+    EXPECT_EQ(pbDesign(5).runs, 8);
+    EXPECT_EQ(pbDesign(7).runs, 8);
+    EXPECT_EQ(pbDesign(8).runs, 12);
+    EXPECT_EQ(pbDesign(11).runs, 12);
+    EXPECT_EQ(pbDesign(12).runs, 16);
+    EXPECT_EQ(pbDesign(19).runs, 20);
+    EXPECT_EQ(pbDesign(23).runs, 24);
+}
+
+TEST(PlackettBurman, RecoversPlantedEffects)
+{
+    // Response = 10 * f0 - 4 * f2 + noise-free baseline: the effect
+    // estimator must rank f0 first, f2 second, and give magnitudes
+    // close to 2x the coefficients.
+    auto d = pbDesign(9);
+    std::vector<double> resp(d.runs);
+    for (int r = 0; r < d.runs; ++r)
+        resp[r] = 100.0 + 10.0 * d.signs[r][0] - 4.0 * d.signs[r][2];
+    auto effects = pbEffects(d, resp);
+    EXPECT_EQ(effects[0].factor, 0);
+    EXPECT_NEAR(effects[0].effect, 20.0, 1e-9);
+    EXPECT_EQ(effects[1].factor, 2);
+    EXPECT_NEAR(effects[1].effect, -8.0, 1e-9);
+    for (size_t i = 2; i < effects.size(); ++i)
+        EXPECT_NEAR(effects[i].magnitude, 0.0, 1e-9);
+}
+
+TEST(Rng, DeterministicAndBounded)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+        double u = a.uniform();
+        b.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(1234);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the CPU instrumentation substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace.hh"
+
+using namespace rodinia;
+using namespace rodinia::trace;
+
+TEST(Trace, CountsInstructionMix)
+{
+    TraceSession s(1);
+    s.run([](ThreadCtx &ctx) {
+        int x = 0;
+        ctx.alu(5);
+        ctx.fp(3);
+        ctx.branch(2);
+        ctx.load(&x, 4);
+        ctx.store(&x, 4);
+    });
+    auto mix = s.totalMix();
+    EXPECT_EQ(mix.intOps, 5u);
+    EXPECT_EQ(mix.fpOps, 3u);
+    EXPECT_EQ(mix.branches, 2u);
+    EXPECT_EQ(mix.loads, 1u);
+    EXPECT_EQ(mix.stores, 1u);
+    EXPECT_EQ(mix.total(), 12u);
+    EXPECT_EQ(mix.memRefs(), 2u);
+}
+
+TEST(Trace, RecordsEventsPerThread)
+{
+    TraceSession s(4);
+    s.run([](ThreadCtx &ctx) {
+        int buf[8] = {};
+        for (int i = 0; i <= ctx.tid(); ++i)
+            ctx.load(&buf[i], 4);
+    });
+    for (int t = 0; t < 4; ++t)
+        EXPECT_EQ(s.contexts()[t]->events().size(), size_t(t + 1));
+    EXPECT_EQ(s.totalEvents(), 1u + 2 + 3 + 4);
+}
+
+TEST(Trace, RecordingCanBeDisabled)
+{
+    TraceSession s(2, false);
+    s.run([](ThreadCtx &ctx) {
+        int x = 0;
+        ctx.load(&x, 4);
+        ctx.store(&x, 4);
+    });
+    EXPECT_EQ(s.totalEvents(), 0u);
+    // Instruction mix still counts.
+    EXPECT_EQ(s.totalMix().memRefs(), 4u);
+}
+
+TEST(Trace, LdStMoveRealData)
+{
+    TraceSession s(1);
+    int value = 0;
+    s.run([&](ThreadCtx &ctx) {
+        ctx.st(&value, 42);
+        int v = ctx.ld(&value);
+        ctx.st(&value, v + 1);
+    });
+    EXPECT_EQ(value, 43);
+}
+
+TEST(Trace, BarrierSynchronizesPhases)
+{
+    const int nt = 8;
+    TraceSession s(nt, false);
+    std::vector<int> phase1(nt, 0);
+    std::vector<int> sums(nt, 0);
+    s.run([&](ThreadCtx &ctx) {
+        phase1[ctx.tid()] = ctx.tid() + 1;
+        ctx.barrier();
+        int sum = 0;
+        for (int i = 0; i < nt; ++i)
+            sum += phase1[i];
+        sums[ctx.tid()] = sum;
+    });
+    for (int t = 0; t < nt; ++t)
+        EXPECT_EQ(sums[t], nt * (nt + 1) / 2);
+}
+
+TEST(Trace, DataFootprintPages)
+{
+    TraceSession s(1);
+    // Touch 3 distinct 4 kB pages via a heap buffer.
+    std::vector<uint8_t> buf(3 * 4096 + 64);
+    s.run([&](ThreadCtx &ctx) {
+        ctx.load(&buf[0], 4);
+        ctx.load(&buf[4096], 4);
+        ctx.load(&buf[2 * 4096], 4);
+        ctx.load(&buf[4096 + 8], 4); // same page again
+    });
+    // At least 3 pages (buffer may straddle page boundaries).
+    EXPECT_GE(s.dataFootprintPages(), 3u);
+    EXPECT_LE(s.dataFootprintPages(), 4u);
+}
+
+TEST(Trace, PageStraddlingAccessCountsBothPages)
+{
+    TraceSession s(1);
+    std::vector<uint8_t> buf(2 * 4096);
+    // Find an offset 4 bytes before a page boundary.
+    uintptr_t base = uintptr_t(buf.data());
+    uintptr_t boundary = (base + 4096) & ~uintptr_t(4095);
+    uint8_t *p = reinterpret_cast<uint8_t *>(boundary - 4);
+    s.run([&](ThreadCtx &ctx) { ctx.load(p, 8); });
+    EXPECT_EQ(s.dataFootprintPages(), 2u);
+}
+
+TEST(Trace, InstructionSitesAreDistinctPerCallSite)
+{
+    TraceSession s(1);
+    s.run([](ThreadCtx &ctx) {
+        for (int i = 0; i < 10; ++i)
+            ctx.alu(1); // one site despite 10 calls
+        ctx.alu(1);     // second site
+        ctx.fp(1);      // third site
+    });
+    EXPECT_EQ(s.instructionSites(), 3u);
+    EXPECT_GE(s.instructionFootprintBlocks(), 1u);
+}
+
+TEST(Trace, InterleavingIsRoundRobinAndComplete)
+{
+    TraceSession s(3);
+    std::vector<int> data(16, 0);
+    s.run([&](ThreadCtx &ctx) {
+        for (int i = 0; i < 2 + ctx.tid(); ++i)
+            ctx.load(&data[ctx.tid() * 4 + i], 4);
+    });
+    std::vector<int> order;
+    s.forEachInterleaved(
+        [&](int tid, const MemEvent &) { order.push_back(tid); });
+    // Total = 2 + 3 + 4 events; round-robin starts 0,1,2,0,1,2,...
+    ASSERT_EQ(order.size(), 9u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);
+    EXPECT_EQ(order[2], 2);
+    EXPECT_EQ(order[3], 0);
+    // Thread 2 has the most events, so the tail is all 2s.
+    EXPECT_EQ(order[8], 2);
+}
+
+TEST(Trace, WideAccessRecordsSize)
+{
+    TraceSession s(1);
+    std::vector<float> buf(64);
+    s.run([&](ThreadCtx &ctx) { ctx.load(buf.data(), 256); });
+    const auto &ev = s.contexts()[0]->events();
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_EQ(ev[0].size, 256u);
+    EXPECT_EQ(ev[0].isWrite, 0u);
+}

