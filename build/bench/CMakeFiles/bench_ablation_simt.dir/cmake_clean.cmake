@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_simt.dir/bench_ablation_simt.cc.o"
+  "CMakeFiles/bench_ablation_simt.dir/bench_ablation_simt.cc.o.d"
+  "bench_ablation_simt"
+  "bench_ablation_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_missrates.dir/bench_fig10_missrates.cc.o"
+  "CMakeFiles/bench_fig10_missrates.dir/bench_fig10_missrates.cc.o.d"
+  "bench_fig10_missrates"
+  "bench_fig10_missrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_missrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_ifootprint.dir/bench_fig11_ifootprint.cc.o"
+  "CMakeFiles/bench_fig11_ifootprint.dir/bench_fig11_ifootprint.cc.o.d"
+  "bench_fig11_ifootprint"
+  "bench_fig11_ifootprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_ifootprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_dfootprint.dir/bench_fig12_dfootprint.cc.o"
+  "CMakeFiles/bench_fig12_dfootprint.dir/bench_fig12_dfootprint.cc.o.d"
+  "bench_fig12_dfootprint"
+  "bench_fig12_dfootprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_dfootprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_memmix.dir/bench_fig2_memmix.cc.o"
+  "CMakeFiles/bench_fig2_memmix.dir/bench_fig2_memmix.cc.o.d"
+  "bench_fig2_memmix"
+  "bench_fig2_memmix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_memmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

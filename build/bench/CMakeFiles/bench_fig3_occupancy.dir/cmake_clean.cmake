@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_occupancy.dir/bench_fig3_occupancy.cc.o"
+  "CMakeFiles/bench_fig3_occupancy.dir/bench_fig3_occupancy.cc.o.d"
+  "bench_fig3_occupancy"
+  "bench_fig3_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

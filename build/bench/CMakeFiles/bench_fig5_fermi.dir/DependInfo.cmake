@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_fermi.cc" "bench/CMakeFiles/bench_fig5_fermi.dir/bench_fig5_fermi.cc.o" "gcc" "bench/CMakeFiles/bench_fig5_fermi.dir/bench_fig5_fermi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/rodinia_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rodinia_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rodinia_core_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/rodinia_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/rodinia_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rodinia_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rodinia_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rodinia_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

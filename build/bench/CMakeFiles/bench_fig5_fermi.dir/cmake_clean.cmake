@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fermi.dir/bench_fig5_fermi.cc.o"
+  "CMakeFiles/bench_fig5_fermi.dir/bench_fig5_fermi.cc.o.d"
+  "bench_fig5_fermi"
+  "bench_fig5_fermi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fermi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

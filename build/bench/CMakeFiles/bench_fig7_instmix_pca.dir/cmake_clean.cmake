@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_instmix_pca.dir/bench_fig7_instmix_pca.cc.o"
+  "CMakeFiles/bench_fig7_instmix_pca.dir/bench_fig7_instmix_pca.cc.o.d"
+  "bench_fig7_instmix_pca"
+  "bench_fig7_instmix_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_instmix_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_workingset_pca.dir/bench_fig8_workingset_pca.cc.o"
+  "CMakeFiles/bench_fig8_workingset_pca.dir/bench_fig8_workingset_pca.cc.o.d"
+  "bench_fig8_workingset_pca"
+  "bench_fig8_workingset_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_workingset_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pb_sensitivity.dir/bench_pb_sensitivity.cc.o"
+  "CMakeFiles/bench_pb_sensitivity.dir/bench_pb_sensitivity.cc.o.d"
+  "bench_pb_sensitivity"
+  "bench_pb_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pb_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

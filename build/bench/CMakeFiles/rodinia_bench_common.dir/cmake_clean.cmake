@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodinia_bench_common.dir/common.cc.o"
+  "CMakeFiles/rodinia_bench_common.dir/common.cc.o.d"
+  "librodinia_bench_common.a"
+  "librodinia_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodinia_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

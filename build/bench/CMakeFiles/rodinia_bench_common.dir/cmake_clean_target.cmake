@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librodinia_bench_common.a"
+)

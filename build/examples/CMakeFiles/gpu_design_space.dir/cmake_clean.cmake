@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_design_space.dir/gpu_design_space.cpp.o"
+  "CMakeFiles/gpu_design_space.dir/gpu_design_space.cpp.o.d"
+  "gpu_design_space"
+  "gpu_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_comparison.dir/suite_comparison.cpp.o"
+  "CMakeFiles/suite_comparison.dir/suite_comparison.cpp.o.d"
+  "suite_comparison"
+  "suite_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodinia_cachesim.dir/cache.cc.o"
+  "CMakeFiles/rodinia_cachesim.dir/cache.cc.o.d"
+  "librodinia_cachesim.a"
+  "librodinia_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodinia_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodinia_core_lib.dir/characterize.cc.o"
+  "CMakeFiles/rodinia_core_lib.dir/characterize.cc.o.d"
+  "CMakeFiles/rodinia_core_lib.dir/workload.cc.o"
+  "CMakeFiles/rodinia_core_lib.dir/workload.cc.o.d"
+  "librodinia_core_lib.a"
+  "librodinia_core_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodinia_core_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

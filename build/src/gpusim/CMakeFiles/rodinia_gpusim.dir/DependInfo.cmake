@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/recorder.cc" "src/gpusim/CMakeFiles/rodinia_gpusim.dir/recorder.cc.o" "gcc" "src/gpusim/CMakeFiles/rodinia_gpusim.dir/recorder.cc.o.d"
+  "/root/repo/src/gpusim/replay.cc" "src/gpusim/CMakeFiles/rodinia_gpusim.dir/replay.cc.o" "gcc" "src/gpusim/CMakeFiles/rodinia_gpusim.dir/replay.cc.o.d"
+  "/root/repo/src/gpusim/simconfig.cc" "src/gpusim/CMakeFiles/rodinia_gpusim.dir/simconfig.cc.o" "gcc" "src/gpusim/CMakeFiles/rodinia_gpusim.dir/simconfig.cc.o.d"
+  "/root/repo/src/gpusim/simplecache.cc" "src/gpusim/CMakeFiles/rodinia_gpusim.dir/simplecache.cc.o" "gcc" "src/gpusim/CMakeFiles/rodinia_gpusim.dir/simplecache.cc.o.d"
+  "/root/repo/src/gpusim/timing.cc" "src/gpusim/CMakeFiles/rodinia_gpusim.dir/timing.cc.o" "gcc" "src/gpusim/CMakeFiles/rodinia_gpusim.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rodinia_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodinia_gpusim.dir/recorder.cc.o"
+  "CMakeFiles/rodinia_gpusim.dir/recorder.cc.o.d"
+  "CMakeFiles/rodinia_gpusim.dir/replay.cc.o"
+  "CMakeFiles/rodinia_gpusim.dir/replay.cc.o.d"
+  "CMakeFiles/rodinia_gpusim.dir/simconfig.cc.o"
+  "CMakeFiles/rodinia_gpusim.dir/simconfig.cc.o.d"
+  "CMakeFiles/rodinia_gpusim.dir/simplecache.cc.o"
+  "CMakeFiles/rodinia_gpusim.dir/simplecache.cc.o.d"
+  "CMakeFiles/rodinia_gpusim.dir/timing.cc.o"
+  "CMakeFiles/rodinia_gpusim.dir/timing.cc.o.d"
+  "librodinia_gpusim.a"
+  "librodinia_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodinia_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

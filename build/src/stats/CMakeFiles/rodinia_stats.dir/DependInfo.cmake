@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/cluster.cc" "src/stats/CMakeFiles/rodinia_stats.dir/cluster.cc.o" "gcc" "src/stats/CMakeFiles/rodinia_stats.dir/cluster.cc.o.d"
+  "/root/repo/src/stats/eigen.cc" "src/stats/CMakeFiles/rodinia_stats.dir/eigen.cc.o" "gcc" "src/stats/CMakeFiles/rodinia_stats.dir/eigen.cc.o.d"
+  "/root/repo/src/stats/matrix.cc" "src/stats/CMakeFiles/rodinia_stats.dir/matrix.cc.o" "gcc" "src/stats/CMakeFiles/rodinia_stats.dir/matrix.cc.o.d"
+  "/root/repo/src/stats/pca.cc" "src/stats/CMakeFiles/rodinia_stats.dir/pca.cc.o" "gcc" "src/stats/CMakeFiles/rodinia_stats.dir/pca.cc.o.d"
+  "/root/repo/src/stats/plackett_burman.cc" "src/stats/CMakeFiles/rodinia_stats.dir/plackett_burman.cc.o" "gcc" "src/stats/CMakeFiles/rodinia_stats.dir/plackett_burman.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rodinia_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

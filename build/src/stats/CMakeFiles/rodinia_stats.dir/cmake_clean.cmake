@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodinia_stats.dir/cluster.cc.o"
+  "CMakeFiles/rodinia_stats.dir/cluster.cc.o.d"
+  "CMakeFiles/rodinia_stats.dir/eigen.cc.o"
+  "CMakeFiles/rodinia_stats.dir/eigen.cc.o.d"
+  "CMakeFiles/rodinia_stats.dir/matrix.cc.o"
+  "CMakeFiles/rodinia_stats.dir/matrix.cc.o.d"
+  "CMakeFiles/rodinia_stats.dir/pca.cc.o"
+  "CMakeFiles/rodinia_stats.dir/pca.cc.o.d"
+  "CMakeFiles/rodinia_stats.dir/plackett_burman.cc.o"
+  "CMakeFiles/rodinia_stats.dir/plackett_burman.cc.o.d"
+  "librodinia_stats.a"
+  "librodinia_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodinia_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodinia_support.dir/logging.cc.o"
+  "CMakeFiles/rodinia_support.dir/logging.cc.o.d"
+  "CMakeFiles/rodinia_support.dir/table.cc.o"
+  "CMakeFiles/rodinia_support.dir/table.cc.o.d"
+  "librodinia_support.a"
+  "librodinia_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodinia_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodinia_trace.dir/trace.cc.o"
+  "CMakeFiles/rodinia_trace.dir/trace.cc.o.d"
+  "librodinia_trace.a"
+  "librodinia_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodinia_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

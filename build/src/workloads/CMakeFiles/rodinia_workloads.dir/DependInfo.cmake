@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/parsec/blackscholes.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/blackscholes.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/blackscholes.cc.o.d"
+  "/root/repo/src/workloads/parsec/bodytrack.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/bodytrack.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/bodytrack.cc.o.d"
+  "/root/repo/src/workloads/parsec/canneal.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/canneal.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/canneal.cc.o.d"
+  "/root/repo/src/workloads/parsec/dedup.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/dedup.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/dedup.cc.o.d"
+  "/root/repo/src/workloads/parsec/facesim.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/facesim.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/facesim.cc.o.d"
+  "/root/repo/src/workloads/parsec/ferret.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/ferret.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/ferret.cc.o.d"
+  "/root/repo/src/workloads/parsec/fluidanimate.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/fluidanimate.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/fluidanimate.cc.o.d"
+  "/root/repo/src/workloads/parsec/freqmine.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/freqmine.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/freqmine.cc.o.d"
+  "/root/repo/src/workloads/parsec/raytrace.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/raytrace.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/raytrace.cc.o.d"
+  "/root/repo/src/workloads/parsec/swaptions.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/swaptions.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/swaptions.cc.o.d"
+  "/root/repo/src/workloads/parsec/vips.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/vips.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/vips.cc.o.d"
+  "/root/repo/src/workloads/parsec/x264.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/x264.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/parsec/x264.cc.o.d"
+  "/root/repo/src/workloads/register_all.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/register_all.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/register_all.cc.o.d"
+  "/root/repo/src/workloads/rodinia/backprop.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/backprop.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/backprop.cc.o.d"
+  "/root/repo/src/workloads/rodinia/bfs.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/bfs.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/bfs.cc.o.d"
+  "/root/repo/src/workloads/rodinia/cfd.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/cfd.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/cfd.cc.o.d"
+  "/root/repo/src/workloads/rodinia/heartwall.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/heartwall.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/heartwall.cc.o.d"
+  "/root/repo/src/workloads/rodinia/hotspot.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/hotspot.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/hotspot.cc.o.d"
+  "/root/repo/src/workloads/rodinia/kmeans.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/kmeans.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/kmeans.cc.o.d"
+  "/root/repo/src/workloads/rodinia/leukocyte.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/leukocyte.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/leukocyte.cc.o.d"
+  "/root/repo/src/workloads/rodinia/lud.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/lud.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/lud.cc.o.d"
+  "/root/repo/src/workloads/rodinia/mummer.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/mummer.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/mummer.cc.o.d"
+  "/root/repo/src/workloads/rodinia/nw.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/nw.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/nw.cc.o.d"
+  "/root/repo/src/workloads/rodinia/srad.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/srad.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/srad.cc.o.d"
+  "/root/repo/src/workloads/rodinia/streamcluster.cc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/streamcluster.cc.o" "gcc" "src/workloads/CMakeFiles/rodinia_workloads.dir/rodinia/streamcluster.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rodinia_core_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rodinia_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/rodinia_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rodinia_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/rodinia_cachesim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads_parsec.dir/test_workloads_parsec.cc.o"
+  "CMakeFiles/test_workloads_parsec.dir/test_workloads_parsec.cc.o.d"
+  "test_workloads_parsec"
+  "test_workloads_parsec.pdb"
+  "test_workloads_parsec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads_parsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads_rodinia.dir/test_workloads_rodinia.cc.o"
+  "CMakeFiles/test_workloads_rodinia.dir/test_workloads_rodinia.cc.o.d"
+  "test_workloads_rodinia"
+  "test_workloads_rodinia.pdb"
+  "test_workloads_rodinia[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads_rodinia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

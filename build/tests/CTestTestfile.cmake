@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_cachesim[1]_include.cmake")
+include("/root/repo/build/tests/test_gpusim[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads_rodinia[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads_parsec[1]_include.cmake")
+include("/root/repo/build/tests/test_characterize[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
