@@ -10,44 +10,9 @@
  */
 
 #include "bench/common.hh"
-#include "gpusim/timing.hh"
-#include "support/table.hh"
-
-using namespace rodinia;
-
-namespace {
-
-std::string
-build()
-{
-    Table t("Coalescing-granularity ablation (normalized to 64 B)");
-    t.setHeader({"Benchmark", "Metric", "32B", "64B", "128B"});
-    for (const std::string name : {"kmeans", "cfd", "bfs"}) {
-        auto seq = bench::recordGpu(name, core::Scale::Small);
-        double cycles[3], trans[3];
-        int idx = 0;
-        for (int granule : {32, 64, 128}) {
-            gpusim::SimConfig cfg = gpusim::SimConfig::gpgpusimDefault();
-            cfg.coalesceBytes = granule;
-            auto st = gpusim::TimingSim(cfg).simulate(seq);
-            cycles[idx] = double(st.cycles);
-            trans[idx] = double(st.dramTransactions);
-            ++idx;
-        }
-        t.addRow({name, "cycles", Table::fmt(cycles[0] / cycles[1], 2),
-                  "1.00", Table::fmt(cycles[2] / cycles[1], 2)});
-        t.addRow({"", "transactions",
-                  Table::fmt(trans[0] / trans[1], 2), "1.00",
-                  Table::fmt(trans[2] / trans[1], 2)});
-    }
-    return t.render();
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    return bench::runFigureBench(argc, argv, "ablation/coalesce",
-                                 build);
+    return rodinia::bench::runFigureById(argc, argv, "ablation_coalesce");
 }

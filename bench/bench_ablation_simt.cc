@@ -10,90 +10,10 @@
  * which over-estimates occupancy on trip-count-divergent code.
  */
 
-#include <sstream>
-
 #include "bench/common.hh"
-#include "gpusim/recorder.hh"
-#include "gpusim/replay.hh"
-#include "support/rng.hh"
-#include "support/table.hh"
-
-using namespace rodinia;
-using namespace rodinia::gpusim;
-
-namespace {
-
-std::string
-build()
-{
-    // Per-thread trip counts drawn from a skewed distribution, like
-    // query lengths in MUMmer.
-    Rng rng(0xAB1);
-    std::vector<int> trips(2048);
-    for (auto &t : trips)
-        t = 1 + int(rng.below(64));
-    std::vector<float> data(1 << 16, 1.0f);
-
-    LaunchConfig launch;
-    launch.gridDim = 16;
-    launch.blockDim = 128;
-
-    // The loop body takes a data-dependent branch, like an edge
-    // comparison in a tree walk: lanes on different iterations sit
-    // at the same then/else PCs, which naive min-PC would merge.
-    auto body = [&](KernelCtx &ctx, float &acc, int i) {
-        if (ctx.branch(((ctx.globalId() * 31 + i) % 3) == 0)) {
-            acc += ctx.ldg(&data[(ctx.globalId() * 67 + i) %
-                                 int(data.size())]);
-            ctx.fp(4);
-        } else {
-            ctx.alu(2);
-        }
-    };
-    auto makeRec = [&](bool use_keys) {
-        return recordKernel(launch, [&](KernelCtx &ctx) {
-            int n = trips[ctx.globalId()];
-            float acc = 0.0f;
-            for (int i = 0; i < n; ++i) {
-                if (use_keys) {
-                    LoopIter li(ctx, i);
-                    body(ctx, acc, i);
-                } else {
-                    body(ctx, acc, i);
-                }
-            }
-            ctx.stg(&data[ctx.globalId()], acc);
-        });
-    };
-
-    auto withKeys = analyzeTrace(makeRec(true));
-    auto without = analyzeTrace(makeRec(false));
-
-    Table t("SIMT ablation: loop path keys vs naive min-PC merge");
-    t.setHeader({"Model", "avg active threads", "warp insts",
-                 "1-8 bucket"});
-    auto row = [&](const char *name, const TraceStats &s) {
-        t.addRow({name, Table::fmt(s.avgWarpOccupancy(), 2),
-                  Table::fmtInt(s.warpInstructions),
-                  Table::pct(s.occupancyFractions()[0])});
-    };
-    row("loop path keys (default)", withKeys);
-    row("naive min-PC (no keys)", without);
-
-    std::ostringstream os;
-    os << t.render() << "\n"
-       << "Without path keys, different loop iterations of different\n"
-       << "lanes merge at the same PC, inflating occupancy and\n"
-       << "deflating the serialized warp-instruction count on\n"
-       << "trip-count-divergent kernels (MUMmer, BFS).\n";
-    return os.str();
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    return bench::runFigureBench(argc, argv, "ablation/simt_keys",
-                                 build);
+    return rodinia::bench::runFigureById(argc, argv, "ablation_simt");
 }

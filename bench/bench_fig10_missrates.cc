@@ -9,47 +9,10 @@
  * (Blackscholes, Swaptions, Raytrace, HotSpot) are lowest.
  */
 
-#include <algorithm>
-#include <sstream>
-
 #include "bench/common.hh"
-#include "support/table.hh"
-
-using namespace rodinia;
-
-namespace {
-
-std::string
-build()
-{
-    auto chars = bench::allCharacterizations(core::Scale::Full);
-
-    // Find the 4 MB sweep index.
-    size_t idx4mb = 0;
-    for (size_t i = 0; i < chars[0].cacheSizes.size(); ++i)
-        if (chars[0].cacheSizes[i] == 4ull * 1024 * 1024)
-            idx4mb = i;
-
-    std::vector<std::tuple<double, std::string, core::Suite>> rows;
-    for (const auto &c : chars)
-        rows.emplace_back(c.sweep[idx4mb].missRate(), c.name, c.suite);
-    std::sort(rows.rbegin(), rows.rend());
-
-    double maxRate = std::get<0>(rows.front());
-    std::ostringstream os;
-    os << "Figure 10: miss rate per memory reference @ 4 MB shared "
-          "cache\n\n";
-    for (const auto &[rate, name, suite] : rows)
-        os << barRow(name + core::suiteTag(suite), rate,
-                     std::max(maxRate, 1e-9), 40, 4)
-           << "\n";
-    return os.str();
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    return bench::runFigureBench(argc, argv, "fig10/missrates", build);
+    return rodinia::bench::runFigureById(argc, argv, "fig10");
 }

@@ -11,55 +11,10 @@
  * exception — is the reproduced claim.
  */
 
-#include <algorithm>
-#include <sstream>
-
 #include "bench/common.hh"
-#include "support/table.hh"
-
-using namespace rodinia;
-
-namespace {
-
-std::string
-build()
-{
-    auto chars = bench::allCharacterizations(core::Scale::Full);
-    std::vector<std::tuple<double, std::string, core::Suite>> rows;
-    for (const auto &c : chars)
-        rows.emplace_back(double(c.instructionBlocks), c.name, c.suite);
-    std::sort(rows.rbegin(), rows.rend());
-
-    double maxBlocks = std::get<0>(rows.front());
-    std::ostringstream os;
-    os << "Figure 11: instruction footprint (64 B blocks touched)\n\n";
-    for (const auto &[blocks, name, suite] : rows)
-        os << barRow(name + core::suiteTag(suite), blocks, maxBlocks,
-                     40, 0)
-           << "\n";
-
-    double rodiniaAvg = 0, parsecAvg = 0;
-    int nr = 0, np = 0;
-    for (const auto &c : chars) {
-        if (c.suite != core::Suite::Parsec) {
-            rodiniaAvg += double(c.instructionBlocks);
-            ++nr;
-        }
-        if (c.suite != core::Suite::Rodinia) {
-            parsecAvg += double(c.instructionBlocks);
-            ++np;
-        }
-    }
-    os << "\n  suite averages: Rodinia " << Table::fmt(rodiniaAvg / nr, 1)
-       << " blocks, Parsec " << Table::fmt(parsecAvg / np, 1)
-       << " blocks\n";
-    return os.str();
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    return bench::runFigureBench(argc, argv, "fig11/ifootprint", build);
+    return rodinia::bench::runFigureById(argc, argv, "fig11");
 }

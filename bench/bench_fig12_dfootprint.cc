@@ -9,39 +9,10 @@
  * kernels.
  */
 
-#include <algorithm>
-#include <sstream>
-
 #include "bench/common.hh"
-#include "support/table.hh"
-
-using namespace rodinia;
-
-namespace {
-
-std::string
-build()
-{
-    auto chars = bench::allCharacterizations(core::Scale::Full);
-    std::vector<std::tuple<double, std::string, core::Suite>> rows;
-    for (const auto &c : chars)
-        rows.emplace_back(double(c.dataPages), c.name, c.suite);
-    std::sort(rows.rbegin(), rows.rend());
-
-    double maxPages = std::get<0>(rows.front());
-    std::ostringstream os;
-    os << "Figure 12: data footprint (4 kB pages touched)\n\n";
-    for (const auto &[pages, name, suite] : rows)
-        os << barRow(name + core::suiteTag(suite), pages, maxPages, 40,
-                     0)
-           << "\n";
-    return os.str();
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    return bench::runFigureBench(argc, argv, "fig12/dfootprint", build);
+    return rodinia::bench::runFigureById(argc, argv, "fig12");
 }

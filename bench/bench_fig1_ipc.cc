@@ -9,51 +9,10 @@
  * dependence-limited (LUD) ones.
  */
 
-#include <sstream>
-
 #include "bench/common.hh"
-#include "gpusim/timing.hh"
-#include "support/table.hh"
-
-using namespace rodinia;
-
-namespace {
-
-std::string
-build()
-{
-    gpusim::TimingSim sim8(gpusim::SimConfig::shaders(8));
-    gpusim::TimingSim sim28(gpusim::SimConfig::shaders(28));
-
-    Table t("Figure 1: IPC, 8-shader vs 28-shader configurations");
-    t.setHeader({"Benchmark", "IPC(8)", "IPC(28)", "Scaling"});
-    std::ostringstream bars;
-    double maxIpc = 0.0;
-    std::vector<std::tuple<std::string, double, double>> rows;
-
-    for (const auto &[name, label] : bench::figureOrder()) {
-        auto seq = bench::recordGpu(name, core::Scale::Full);
-        auto s8 = sim8.simulate(seq);
-        auto s28 = sim28.simulate(seq);
-        rows.emplace_back(label, s8.ipc(), s28.ipc());
-        maxIpc = std::max(maxIpc, s28.ipc());
-        t.addRow({label, Table::fmt(s8.ipc(), 1),
-                  Table::fmt(s28.ipc(), 1),
-                  Table::fmt(s28.ipc() / std::max(s8.ipc(), 1e-9), 2) +
-                      "x"});
-    }
-
-    for (const auto &[label, i8, i28] : rows) {
-        bars << barRow(label + " (28)", i28, maxIpc) << "\n";
-        bars << barRow(label + " (8)", i8, maxIpc) << "\n";
-    }
-    return t.render() + "\n" + bars.str();
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    return bench::runFigureBench(argc, argv, "fig1/ipc", build);
+    return rodinia::bench::runFigureById(argc, argv, "fig1");
 }

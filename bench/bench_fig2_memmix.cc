@@ -8,42 +8,10 @@
  * global.
  */
 
-#include <sstream>
-
 #include "bench/common.hh"
-#include "gpusim/replay.hh"
-#include "support/table.hh"
-
-using namespace rodinia;
-using gpusim::Space;
-
-namespace {
-
-std::string
-build()
-{
-    Table t("Figure 2: memory operation breakdown (percent)");
-    t.setHeader({"Benchmark", "Shared", "Tex", "Const", "Param",
-                 "Global/Local"});
-    for (const auto &[name, label] : bench::figureOrder()) {
-        auto seq = bench::recordGpu(name, core::Scale::Full);
-        auto stats = gpusim::analyzeTrace(seq);
-        auto f = stats.memOpFractions();
-        double globloc =
-            f[size_t(Space::Global)] + f[size_t(Space::Local)];
-        t.addRow({label, Table::pct(f[size_t(Space::Shared)]),
-                  Table::pct(f[size_t(Space::Tex)]),
-                  Table::pct(f[size_t(Space::Const)]),
-                  Table::pct(f[size_t(Space::Param)]),
-                  Table::pct(globloc)});
-    }
-    return t.render();
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    return bench::runFigureBench(argc, argv, "fig2/memmix", build);
+    return rodinia::bench::runFigureById(argc, argv, "fig2");
 }

@@ -10,34 +10,9 @@
  */
 
 #include "bench/common.hh"
-#include "gpusim/replay.hh"
-#include "support/table.hh"
-
-using namespace rodinia;
-
-namespace {
-
-std::string
-build()
-{
-    Table t("Figure 3: warp occupancy (percent of warp instructions)");
-    t.setHeader({"Benchmark", "1-8", "9-16", "17-24", "25-32",
-                 "avg active"});
-    for (const auto &[name, label] : bench::figureOrder()) {
-        auto seq = bench::recordGpu(name, core::Scale::Full);
-        auto stats = gpusim::analyzeTrace(seq);
-        auto f = stats.occupancyFractions();
-        t.addRow({label, Table::pct(f[0]), Table::pct(f[1]),
-                  Table::pct(f[2]), Table::pct(f[3]),
-                  Table::fmt(stats.avgWarpOccupancy(), 1)});
-    }
-    return t.render();
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    return bench::runFigureBench(argc, argv, "fig3/occupancy", build);
+    return rodinia::bench::runFigureById(argc, argv, "fig3");
 }

@@ -9,43 +9,9 @@
  */
 
 #include "bench/common.hh"
-#include "gpusim/timing.hh"
-#include "support/table.hh"
-
-using namespace rodinia;
-
-namespace {
-
-std::string
-build()
-{
-    Table t("Figure 4: speedup vs channels (normalized to 4 channels)");
-    t.setHeader({"Benchmark", "4ch", "6ch", "8ch", "BW util @4ch"});
-    for (const auto &[name, label] : bench::figureOrder()) {
-        auto seq = bench::recordGpu(name, core::Scale::Full);
-        double cycles[3];
-        double util4 = 0.0;
-        int idx = 0;
-        for (int ch : {4, 6, 8}) {
-            gpusim::SimConfig cfg = gpusim::SimConfig::gpgpusimDefault();
-            cfg.numChannels = ch;
-            auto st = gpusim::TimingSim(cfg).simulate(seq);
-            cycles[idx++] = double(st.cycles);
-            if (ch == 4)
-                util4 = st.bwUtilization();
-        }
-        t.addRow({label, "1.00",
-                  Table::fmt(cycles[0] / cycles[1], 2),
-                  Table::fmt(cycles[0] / cycles[2], 2),
-                  Table::pct(util4)});
-    }
-    return t.render();
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    return bench::runFigureBench(argc, argv, "fig4/channels", build);
+    return rodinia::bench::runFigureById(argc, argv, "fig4");
 }

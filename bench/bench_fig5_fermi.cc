@@ -11,39 +11,9 @@
  */
 
 #include "bench/common.hh"
-#include "gpusim/timing.hh"
-#include "support/table.hh"
-
-using namespace rodinia;
-
-namespace {
-
-std::string
-build()
-{
-    gpusim::TimingSim gtx280(gpusim::SimConfig::gtx280());
-    gpusim::TimingSim sharedBias(gpusim::SimConfig::gtx480(false));
-    gpusim::TimingSim l1Bias(gpusim::SimConfig::gtx480(true));
-
-    Table t("Figure 5: kernel time normalized to GTX 280");
-    t.setHeader({"Benchmark", "GTX280", "GTX480 shared-bias",
-                 "GTX480 L1-bias", "L1-bias gain"});
-    for (const auto &[name, label] : bench::figureOrder()) {
-        auto seq = bench::recordGpu(name, core::Scale::Full);
-        double t280 = gtx280.simulate(seq).timeUs();
-        double tShared = sharedBias.simulate(seq).timeUs();
-        double tL1 = l1Bias.simulate(seq).timeUs();
-        double gain = (tShared - tL1) / tShared;
-        t.addRow({label, "1.00", Table::fmt(tShared / t280, 2),
-                  Table::fmt(tL1 / t280, 2), Table::pct(gain)});
-    }
-    return t.render();
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    return bench::runFigureBench(argc, argv, "fig5/fermi", build);
+    return rodinia::bench::runFigureById(argc, argv, "fig5");
 }

@@ -13,56 +13,10 @@
  * apart.
  */
 
-#include <sstream>
-
 #include "bench/common.hh"
-#include "stats/cluster.hh"
-#include "stats/pca.hh"
-#include "support/table.hh"
-
-using namespace rodinia;
-
-namespace {
-
-std::string
-build()
-{
-    auto chars = bench::allCharacterizations(core::Scale::Full);
-
-    std::vector<std::vector<double>> rows;
-    std::vector<std::string> labels;
-    for (const auto &c : chars) {
-        rows.push_back(c.allFeatures());
-        labels.push_back(c.name + core::suiteTag(c.suite));
-    }
-
-    auto pca = stats::runPca(stats::Matrix::fromRows(rows));
-    size_t keep = pca.componentsForVariance(0.9);
-    auto scores = stats::pcaProject(pca, keep);
-
-    auto lk = stats::hierarchicalCluster(scores,
-                                         stats::LinkageMethod::Average);
-    std::ostringstream os;
-    os << "Figure 6: dendrogram over " << keep
-       << " principal components (90% variance)\n\n";
-    os << stats::renderDendrogram(lk, labels);
-
-    os << "\nFlat clustering at k=8:\n";
-    auto cut = lk.cut(8);
-    for (int cl = 0; cl < 8; ++cl) {
-        os << "  cluster " << cl << ":";
-        for (size_t i = 0; i < labels.size(); ++i)
-            if (cut[i] == cl)
-                os << " " << labels[i];
-        os << "\n";
-    }
-    return os.str();
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    return bench::runFigureBench(argc, argv, "fig6/dendrogram", build);
+    return rodinia::bench::runFigureById(argc, argv, "fig6");
 }

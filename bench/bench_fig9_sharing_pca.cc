@@ -10,41 +10,9 @@
  */
 
 #include "bench/common.hh"
-#include "stats/pca.hh"
-
-using namespace rodinia;
-
-namespace {
-
-std::string
-build()
-{
-    auto chars = bench::allCharacterizations(core::Scale::Full);
-    std::vector<std::vector<double>> rows;
-    std::vector<std::string> labels;
-    std::vector<core::Suite> suites;
-    for (const auto &c : chars) {
-        rows.push_back(c.sharingFeatures());
-        labels.push_back(c.name);
-        suites.push_back(c.suite);
-    }
-    auto pca = stats::runPca(stats::Matrix::fromRows(rows));
-    std::vector<double> xs, ys;
-    for (size_t i = 0; i < rows.size(); ++i) {
-        xs.push_back(pca.scores.at(i, 0));
-        ys.push_back(pca.scores.at(i, 1));
-    }
-    std::string head =
-        "Figure 9: sharing-behavior PCA (PC1 explains " +
-        std::to_string(int(pca.explained[0] * 100)) + "%, PC2 " +
-        std::to_string(int(pca.explained[1] * 100)) + "%)\n\n";
-    return head + bench::renderScatter(xs, ys, labels, suites);
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    return bench::runFigureBench(argc, argv, "fig9/sharing_pca", build);
+    return rodinia::bench::runFigureById(argc, argv, "fig9");
 }

@@ -12,87 +12,10 @@
  * only modestly to memory-interface parameters.
  */
 
-#include <sstream>
-
 #include "bench/common.hh"
-#include "gpusim/timing.hh"
-#include "stats/plackett_burman.hh"
-#include "support/table.hh"
-
-using namespace rodinia;
-
-namespace {
-
-const std::vector<std::string> kFactorNames = {
-    "core-clock",   "simd-width",  "shared-size",
-    "bank-conflict", "regfile",    "threads/SM",
-    "mem-clock",    "channels",    "bus-width",
-};
-
-gpusim::SimConfig
-configFor(const std::vector<int> &signs)
-{
-    gpusim::SimConfig cfg = gpusim::SimConfig::gpgpusimDefault();
-    cfg.coreClockGhz = signs[0] > 0 ? 1.5 : 1.2;
-    cfg.simdWidth = signs[1] > 0 ? 32 : 16;
-    cfg.sharedMemPerSm = signs[2] > 0 ? 32 * 1024 : 16 * 1024;
-    cfg.bankConflictsEnabled = signs[3] > 0;
-    cfg.regFileSize = signs[4] > 0 ? 32768 : 16384;
-    cfg.maxThreadsPerSm = signs[5] > 0 ? 2048 : 1024;
-    cfg.memClockGhz = signs[6] > 0 ? 2.0 : 1.6;
-    cfg.numChannels = signs[7] > 0 ? 8 : 4;
-    cfg.dramBusBytes = signs[8] > 0 ? 16 : 8;
-    return cfg;
-}
-
-std::string
-build()
-{
-    auto design = stats::pbDesign(int(kFactorNames.size()));
-
-    Table t("Plackett-Burman sensitivity: top-3 factors per benchmark");
-    t.setHeader({"Benchmark", "#1", "#2", "#3"});
-    std::vector<double> rankScore(kFactorNames.size(), 0.0);
-
-    for (const auto &[name, label] : bench::figureOrder()) {
-        auto seq = bench::recordGpu(name, core::Scale::Small);
-        std::vector<double> responses;
-        for (int r = 0; r < design.runs; ++r) {
-            gpusim::SimConfig cfg = configFor(design.signs[r]);
-            auto st = gpusim::TimingSim(cfg).simulate(seq);
-            // The paper's response variable is total execution
-            // cycles (Section III-E).
-            responses.push_back(double(st.cycles));
-        }
-        auto effects = stats::pbEffects(design, responses,
-                                        kFactorNames);
-        t.addRow({label, effects[0].name, effects[1].name,
-                  effects[2].name});
-        // Aggregate: Borda-style rank points.
-        for (size_t i = 0; i < effects.size(); ++i)
-            rankScore[size_t(effects[i].factor)] +=
-                double(effects.size() - i);
-    }
-
-    std::vector<std::pair<double, std::string>> agg;
-    for (size_t i = 0; i < kFactorNames.size(); ++i)
-        agg.emplace_back(rankScore[i], kFactorNames[i]);
-    std::sort(agg.rbegin(), agg.rend());
-
-    Table t2("Aggregate factor importance across the suite");
-    t2.setHeader({"Rank", "Factor", "Score"});
-    for (size_t i = 0; i < agg.size(); ++i)
-        t2.addRow({std::to_string(i + 1), agg[i].second,
-                   Table::fmt(agg[i].first, 0)});
-
-    return t.render() + "\n" + t2.render();
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    return bench::runFigureBench(argc, argv, "sec3e/plackett_burman",
-                                 build);
+    return rodinia::bench::runFigureById(argc, argv, "pb");
 }

@@ -5,62 +5,10 @@
  * registry metadata.
  */
 
-#include <sstream>
-
 #include "bench/common.hh"
-#include "support/table.hh"
-
-using namespace rodinia;
-
-namespace {
-
-std::string
-build()
-{
-    core::registerAllWorkloads();
-    auto &reg = core::Registry::instance();
-    std::ostringstream os;
-
-    Table t1("Table I: Rodinia applications and kernels");
-    t1.setHeader({"Application", "Dwarf", "Domain", "Problem size"});
-    for (const auto &info : reg.all()) {
-        if (info.suite == core::Suite::Rodinia ||
-            info.suite == core::Suite::Both)
-            t1.addRow({info.displayName, info.dwarf, info.domain,
-                       info.problemSize});
-    }
-    os << t1.render() << "\n";
-
-    Table t5("Table V: Parsec applications (analog implementations)");
-    t5.setHeader({"Application", "Domain", "Problem size",
-                  "Description"});
-    for (const auto &info : reg.all()) {
-        if (info.suite == core::Suite::Parsec ||
-            info.suite == core::Suite::Both)
-            t5.addRow({info.displayName, info.domain, info.problemSize,
-                       info.description});
-    }
-    os << t5.render() << "\n";
-
-    Table t4("Table IV: suite comparison");
-    t4.setHeader({"Feature", "Parsec", "Rodinia"});
-    t4.addRow({"Platform", "CPU", "CPU and GPU"});
-    t4.addRow({"Machine Model", "Shared Memory",
-               "Shared Memory and Offloading"});
-    t4.addRow({"Application Count", "13 workloads", "12 workloads"});
-    t4.addRow({"Incremental Versions", "No",
-               "Yes (NW, SRAD, Leukocyte, LUD)"});
-    t4.addRow({"Memory Space", "HW Cache", "HW and SW Caches"});
-    t4.addRow({"Synchronization", "Barriers, Locks, Pipelines",
-               "Barriers"});
-    os << t4.render();
-    return os.str();
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    return bench::runFigureBench(argc, argv, "table1/inventory", build);
+    return rodinia::bench::runFigureById(argc, argv, "table1");
 }

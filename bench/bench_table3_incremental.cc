@@ -9,65 +9,10 @@
  * cut bandwidth utilization while raising IPC.
  */
 
-#include <sstream>
-
 #include "bench/common.hh"
-#include "gpusim/replay.hh"
-#include "gpusim/timing.hh"
-#include "support/table.hh"
-
-using namespace rodinia;
-using gpusim::Space;
-
-namespace {
-
-std::string
-build()
-{
-    gpusim::TimingSim sim(gpusim::SimConfig::gpgpusimDefault());
-    Table t("Table III: incrementally optimized SRAD and Leukocyte");
-    t.setHeader({"Benchmark", "Version", "IPC", "BW util", "Shared",
-                 "Global", "Const", "Tex"});
-    for (const std::string name : {"srad", "leukocyte"}) {
-        for (int version : {1, 2}) {
-            auto seq = bench::recordGpu(name, core::Scale::Full,
-                                        version);
-            auto st = sim.simulate(seq);
-            auto mix = gpusim::analyzeTrace(seq).memOpFractions();
-            t.addRow({name, "v" + std::to_string(version),
-                      Table::fmt(st.ipc(), 0),
-                      Table::pct(st.bwUtilization(), 0),
-                      Table::pct(mix[size_t(Space::Shared)]),
-                      Table::pct(mix[size_t(Space::Global)]),
-                      Table::pct(mix[size_t(Space::Const)]),
-                      Table::pct(mix[size_t(Space::Tex)])});
-        }
-    }
-    // NW and LUD also ship incremental versions; include them as the
-    // release does.
-    for (const std::string name : {"nw", "lud"}) {
-        for (int version : {1, 2}) {
-            auto seq = bench::recordGpu(name, core::Scale::Full,
-                                        version);
-            auto st = sim.simulate(seq);
-            auto mix = gpusim::analyzeTrace(seq).memOpFractions();
-            t.addRow({name, "v" + std::to_string(version),
-                      Table::fmt(st.ipc(), 0),
-                      Table::pct(st.bwUtilization(), 0),
-                      Table::pct(mix[size_t(Space::Shared)]),
-                      Table::pct(mix[size_t(Space::Global)]),
-                      Table::pct(mix[size_t(Space::Const)]),
-                      Table::pct(mix[size_t(Space::Tex)])});
-        }
-    }
-    return t.render();
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    return bench::runFigureBench(argc, argv, "table3/incremental",
-                                 build);
+    return rodinia::bench::runFigureById(argc, argv, "table3");
 }

@@ -3,10 +3,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
+#include <cstdlib>
 
+#include "driver/context.hh"
+#include "driver/result_store.hh"
 #include "support/logging.hh"
 
 namespace rodinia {
@@ -14,68 +14,24 @@ namespace bench {
 
 namespace {
 
-constexpr int kCacheVersion = 4;
-
-std::string
-cachePath(const std::string &name, core::Scale scale, int threads)
+/**
+ * Process-wide experiment context for the bench binaries: serial
+ * execution (the harness measures the serial path) with the default
+ * on-disk store. RODINIA_CACHE_DIR relocates the store (the same
+ * directory the experiments CLI's --cache-dir points at), so a
+ * bench binary and the driver can share one set of cached
+ * characterizations. Function-local statics keep construction
+ * thread-safe and lazy.
+ */
+driver::Context &
+defaultContext()
 {
-    std::ostringstream os;
-    os << "bench_cache/v" << kCacheVersion << "_" << name << "_s"
-       << int(scale) << "_t" << threads << ".txt";
-    return os.str();
-}
-
-bool
-loadCached(const std::string &path, core::CpuCharacterization &out)
-{
-    std::ifstream in(path);
-    if (!in)
-        return false;
-    std::string tag;
-    size_t sweeps = 0;
-    in >> tag >> out.name >> out.threads;
-    if (tag != "cpuchar")
-        return false;
-    int suite;
-    in >> suite;
-    out.suite = core::Suite(suite);
-    in >> out.mix.intOps >> out.mix.fpOps >> out.mix.branches >>
-        out.mix.loads >> out.mix.stores;
-    in >> out.memEvents >> out.instructionSites >>
-        out.instructionBlocks >> out.dataPages >> out.checksum;
-    in >> sweeps;
-    out.cacheSizes.resize(sweeps);
-    out.sweep.resize(sweeps);
-    for (size_t i = 0; i < sweeps; ++i) {
-        auto &s = out.sweep[i];
-        in >> out.cacheSizes[i] >> s.accesses >> s.misses >>
-            s.evictions >> s.residencies >> s.sharedResidencies >>
-            s.accessesToShared >> s.writesToShared;
-    }
-    return bool(in);
-}
-
-void
-storeCached(const std::string &path,
-            const core::CpuCharacterization &c)
-{
-    std::filesystem::create_directories("bench_cache");
-    std::ofstream outf(path);
-    outf << "cpuchar " << c.name << " " << c.threads << "\n"
-         << int(c.suite) << "\n";
-    outf << c.mix.intOps << " " << c.mix.fpOps << " " << c.mix.branches
-         << " " << c.mix.loads << " " << c.mix.stores << "\n";
-    outf << c.memEvents << " " << c.instructionSites << " "
-         << c.instructionBlocks << " " << c.dataPages << " "
-         << c.checksum << "\n";
-    outf << c.sweep.size() << "\n";
-    for (size_t i = 0; i < c.sweep.size(); ++i) {
-        const auto &s = c.sweep[i];
-        outf << c.cacheSizes[i] << " " << s.accesses << " " << s.misses
-             << " " << s.evictions << " " << s.residencies << " "
-             << s.sharedResidencies << " " << s.accessesToShared << " "
-             << s.writesToShared << "\n";
-    }
+    static driver::ResultStore store([] {
+        const char *dir = std::getenv("RODINIA_CACHE_DIR");
+        return std::string(dir && *dir ? dir : "bench_cache");
+    }());
+    static driver::Context ctx(&store, nullptr);
+    return ctx;
 }
 
 } // namespace
@@ -83,65 +39,31 @@ storeCached(const std::string &path,
 const std::vector<std::pair<std::string, std::string>> &
 figureOrder()
 {
-    static const std::vector<std::pair<std::string, std::string>> order =
-        {
-            {"backprop", "BP"},   {"bfs", "BFS"},
-            {"cfd", "CFD"},       {"heartwall", "HW"},
-            {"hotspot", "HS"},    {"kmeans", "KM"},
-            {"leukocyte", "LC"},  {"lud", "LUD"},
-            {"mummer", "MUM"},    {"nw", "NW"},
-            {"srad", "SRAD"},     {"streamcluster", "SC"},
-        };
-    return order;
+    return driver::figureOrder();
 }
 
 std::vector<std::string>
 allCpuWorkloads()
 {
-    core::registerAllWorkloads();
-    auto &reg = core::Registry::instance();
-    auto rodinia = reg.names(core::Suite::Rodinia);
-    auto parsec = reg.names(core::Suite::Parsec);
-    std::vector<std::string> all = rodinia;
-    for (const auto &p : parsec)
-        if (std::find(all.begin(), all.end(), p) == all.end())
-            all.push_back(p);
-    return all;
+    return driver::allCpuWorkloads();
 }
 
 core::CpuCharacterization
 cachedCpu(const std::string &name, core::Scale scale, int threads)
 {
-    core::registerAllWorkloads();
-    std::string path = cachePath(name, scale, threads);
-    core::CpuCharacterization out;
-    if (loadCached(path, out))
-        return out;
-    auto w = core::Registry::instance().create(name);
-    out = core::characterizeCpu(*w, scale, threads);
-    storeCached(path, out);
-    return out;
+    return defaultContext().cpu(name, scale, threads);
 }
 
 gpusim::LaunchSequence
 recordGpu(const std::string &name, core::Scale scale, int version)
 {
-    core::registerAllWorkloads();
-    auto w = core::Registry::instance().create(name);
-    if (w->gpuVersions() < 1)
-        fatal("workload '", name, "' has no GPU implementation");
-    if (version <= 0)
-        version = w->gpuVersions(); // shipped (most optimized)
-    return w->runGpu(scale, version);
+    return defaultContext().gpu(name, scale, version);
 }
 
 std::vector<core::CpuCharacterization>
 allCharacterizations(core::Scale scale, int threads)
 {
-    std::vector<core::CpuCharacterization> out;
-    for (const auto &name : allCpuWorkloads())
-        out.push_back(cachedCpu(name, scale, threads));
-    return out;
+    return defaultContext().allCpu(scale, threads);
 }
 
 std::string
@@ -151,42 +73,8 @@ renderScatter(const std::vector<double> &xs,
               const std::vector<core::Suite> &suites, int width,
               int height)
 {
-    if (xs.empty())
-        return "";
-    double xmin = xs[0], xmax = xs[0], ymin = ys[0], ymax = ys[0];
-    for (size_t i = 0; i < xs.size(); ++i) {
-        xmin = std::min(xmin, xs[i]);
-        xmax = std::max(xmax, xs[i]);
-        ymin = std::min(ymin, ys[i]);
-        ymax = std::max(ymax, ys[i]);
-    }
-    double xspan = std::max(xmax - xmin, 1e-9);
-    double yspan = std::max(ymax - ymin, 1e-9);
-
-    std::vector<std::string> grid(height, std::string(width, ' '));
-    for (size_t i = 0; i < xs.size(); ++i) {
-        int cx = int((xs[i] - xmin) / xspan * (width - 1) + 0.5);
-        int cy = int((ys[i] - ymin) / yspan * (height - 1) + 0.5);
-        char mark = suites[i] == core::Suite::Rodinia ? 'x'
-                    : suites[i] == core::Suite::Parsec ? 'o'
-                                                       : '#';
-        char &cell = grid[height - 1 - cy][cx];
-        cell = (cell == ' ') ? mark : '*';
-    }
-
-    std::ostringstream os;
-    os << "  PC2 ^   (x = Rodinia, o = Parsec, # = both, * = overlap)\n";
-    for (const auto &row : grid)
-        os << "      |" << row << "\n";
-    os << "      +" << std::string(width, '-') << "> PC1\n\n";
-    for (size_t i = 0; i < labels.size(); ++i) {
-        char buf[96];
-        std::snprintf(buf, sizeof(buf), "  %-14s %-6s (%7.2f, %7.2f)\n",
-                      labels[i].c_str(),
-                      core::suiteTag(suites[i]).c_str(), xs[i], ys[i]);
-        os << buf;
-    }
-    return os.str();
+    return driver::renderScatter(xs, ys, labels, suites, width,
+                                 height);
 }
 
 namespace {
@@ -218,6 +106,17 @@ runFigureBench(int argc, char **argv, const std::string &title,
     std::fputs(g_output.c_str(), stdout);
     std::fflush(stdout);
     return 0;
+}
+
+int
+runFigureById(int argc, char **argv, const std::string &id)
+{
+    const driver::FigureDef *def = driver::findFigure(id);
+    if (!def)
+        fatal("unknown figure id '", id, "'");
+    return runFigureBench(argc, argv, def->title, [def] {
+        return def->build(defaultContext());
+    });
 }
 
 } // namespace bench

@@ -7,10 +7,18 @@
  * experiment (so wall-clock cost is reported by the harness), and
  * prints the reproduced rows/series afterwards.
  *
- * CPU characterizations are cached on disk (./bench_cache) because
- * Figures 6-12 all consume the same 25 workload characterizations;
- * results are deterministic, so the cache is always valid for a
- * given cache version and scale.
+ * The experiment definitions themselves live in the driver
+ * subsystem (driver::allFigures()); each bench binary is a thin
+ * harness around one driver::FigureDef, and the `experiments` CLI
+ * runs the same definitions as one parallel job graph. Both paths
+ * call identical builder code, so their figure text is
+ * byte-identical by construction.
+ *
+ * CPU characterizations are cached on disk through the driver's
+ * content-hashed ResultStore (./bench_cache) because Figures 6-12
+ * all consume the same 25 workload characterizations; results are
+ * deterministic, so a cache entry is always valid for its key
+ * (workload, scale, threads, store version).
  */
 
 #ifndef RODINIA_BENCH_COMMON_HH
@@ -22,19 +30,25 @@
 
 #include "core/characterize.hh"
 #include "core/workload.hh"
+#include "driver/figures.hh"
 #include "gpusim/recorder.hh"
 
 namespace rodinia {
 namespace bench {
 
-/** Rodinia workloads in the paper's figure order (Figs. 1-5). */
+/**
+ * Rodinia workloads in the paper's figure order (Figs. 1-5).
+ * Thread-safe: backed by a function-local static (see
+ * driver::figureOrder()), so benches may query it from pool threads.
+ */
 const std::vector<std::pair<std::string, std::string>> &figureOrder();
 
 /** All 25 CPU workloads: 12 Rodinia + 13 Parsec (SC shared). */
 std::vector<std::string> allCpuWorkloads();
 
 /**
- * CPU characterization with disk caching.
+ * CPU characterization with disk caching (driver ResultStore;
+ * crash-safe write-temp + atomic-rename publication).
  *
  * @param name workload registry name
  * @param scale problem-size tier
@@ -54,6 +68,13 @@ gpusim::LaunchSequence recordGpu(const std::string &name,
  */
 int runFigureBench(int argc, char **argv, const std::string &title,
                    const std::function<std::string()> &build);
+
+/**
+ * Run one driver figure under the bench harness, sharing the
+ * default on-disk result store. This is the whole body of every
+ * bench binary's main().
+ */
+int runFigureById(int argc, char **argv, const std::string &id);
 
 /** Characterize all 25 CPU workloads (cached). */
 std::vector<core::CpuCharacterization>

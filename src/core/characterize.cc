@@ -99,6 +99,9 @@ characterizeCpu(Workload &workload, Scale scale, int threads)
 
     trace::TraceSession session(threads, true);
     workload.runCpu(session, scale);
+    // Canonical page layout: metrics must not depend on where the
+    // heap landed this run (ASLR), only on what the workload did.
+    session.normalizeAddresses();
 
     out.mix = session.totalMix();
     out.memEvents = session.totalEvents();

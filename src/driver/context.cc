@@ -1,0 +1,138 @@
+#include "driver/context.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "driver/executor.hh"
+#include "support/logging.hh"
+
+namespace rodinia {
+namespace driver {
+
+const std::vector<std::pair<std::string, std::string>> &
+figureOrder()
+{
+    // Function-local static: guaranteed thread-safe one-time
+    // initialization (C++11 magic statics), so pool threads may race
+    // on the first call.
+    static const std::vector<std::pair<std::string, std::string>> order =
+        {
+            {"backprop", "BP"},   {"bfs", "BFS"},
+            {"cfd", "CFD"},       {"heartwall", "HW"},
+            {"hotspot", "HS"},    {"kmeans", "KM"},
+            {"leukocyte", "LC"},  {"lud", "LUD"},
+            {"mummer", "MUM"},    {"nw", "NW"},
+            {"srad", "SRAD"},     {"streamcluster", "SC"},
+        };
+    return order;
+}
+
+std::vector<std::string>
+allCpuWorkloads()
+{
+    core::registerAllWorkloads();
+    auto &reg = core::Registry::instance();
+    auto rodinia = reg.names(core::Suite::Rodinia);
+    auto parsec = reg.names(core::Suite::Parsec);
+    std::vector<std::string> all = rodinia;
+    for (const auto &p : parsec)
+        if (std::find(all.begin(), all.end(), p) == all.end())
+            all.push_back(p);
+    return all;
+}
+
+gpusim::LaunchSequence
+recordGpuLaunch(const std::string &name, core::Scale scale, int version)
+{
+    core::registerAllWorkloads();
+    auto w = core::Registry::instance().create(name);
+    if (w->gpuVersions() < 1)
+        fatal("workload '", name, "' has no GPU implementation");
+    if (version <= 0)
+        version = w->gpuVersions(); // shipped (most optimized)
+    return w->runGpu(scale, version);
+}
+
+Context::Context(ResultStore *store, Executor *executor)
+    : store(store), exec(executor)
+{
+}
+
+const core::CpuCharacterization &
+Context::cpu(const std::string &name, core::Scale scale, int threads)
+{
+    std::ostringstream keyName;
+    keyName << name << "/s" << int(scale) << "/t" << threads;
+    Entry<core::CpuCharacterization> *entry;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto &slot = cpuEntries[keyName.str()];
+        if (!slot)
+            slot =
+                std::make_unique<Entry<core::CpuCharacterization>>();
+        entry = slot.get();
+    }
+    // call_once keeps concurrent requesters from duplicating the
+    // (expensive) characterization and propagates exceptions.
+    std::call_once(entry->once, [&] {
+        core::registerAllWorkloads();
+        auto key = cpuCharKey(name, scale, threads);
+        if (store) {
+            if (auto payload = store->load(key)) {
+                if (parseCpuChar(*payload, entry->value))
+                    return;
+            }
+        }
+        auto w = core::Registry::instance().create(name);
+        entry->value = core::characterizeCpu(*w, scale, threads);
+        if (store)
+            store->store(key, serializeCpuChar(entry->value));
+    });
+    return entry->value;
+}
+
+std::vector<core::CpuCharacterization>
+Context::allCpu(core::Scale scale, int threads)
+{
+    auto names = allCpuWorkloads();
+    std::vector<core::CpuCharacterization> out(names.size());
+    // Fan out across the pool; slot-per-name keeps output order
+    // identical to the serial loop.
+    parallelFor(names.size(), [&](size_t i) {
+        out[i] = cpu(names[i], scale, threads);
+    });
+    return out;
+}
+
+const gpusim::LaunchSequence &
+Context::gpu(const std::string &name, core::Scale scale, int version)
+{
+    std::ostringstream keyName;
+    keyName << name << "/s" << int(scale) << "/v" << version;
+    Entry<gpusim::LaunchSequence> *entry;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto &slot = gpuEntries[keyName.str()];
+        if (!slot)
+            slot = std::make_unique<Entry<gpusim::LaunchSequence>>();
+        entry = slot.get();
+    }
+    std::call_once(entry->once, [&] {
+        entry->value = recordGpuLaunch(name, scale, version);
+    });
+    return entry->value;
+}
+
+void
+Context::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (exec) {
+        exec->parallelFor(n, fn);
+        return;
+    }
+    for (size_t i = 0; i < n; ++i)
+        fn(i);
+}
+
+} // namespace driver
+} // namespace rodinia

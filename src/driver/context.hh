@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared experiment context.
+ *
+ * Figures 6-12 all consume the same 25 CPU characterizations, and
+ * Figures 1-5 replay the same recorded GPU launch sequences under
+ * different timing configurations. The Context memoizes both behind
+ * a per-key std::call_once, so any number of figure jobs running
+ * concurrently share one computation (and one ResultStore entry)
+ * instead of recomputing or re-deserializing per binary.
+ *
+ * All public methods are thread-safe and return references that
+ * stay valid for the Context's lifetime (entries are never evicted).
+ */
+
+#ifndef RODINIA_DRIVER_CONTEXT_HH
+#define RODINIA_DRIVER_CONTEXT_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/characterize.hh"
+#include "core/workload.hh"
+#include "driver/result_store.hh"
+#include "gpusim/recorder.hh"
+
+namespace rodinia {
+namespace driver {
+
+class Executor;
+
+/**
+ * Rodinia workloads in the paper's figure order (Figs. 1-5).
+ * Thread-safe: the table is a function-local static, which C++11
+ * guarantees is initialized exactly once even under concurrent
+ * first calls from pool threads.
+ */
+const std::vector<std::pair<std::string, std::string>> &figureOrder();
+
+/** All 25 CPU workloads: 12 Rodinia + 13 Parsec (SC shared). */
+std::vector<std::string> allCpuWorkloads();
+
+/** Record a workload's GPU launch sequence (0 = shipped version). */
+gpusim::LaunchSequence recordGpuLaunch(const std::string &name,
+                                       core::Scale scale,
+                                       int version = 0);
+
+class Context
+{
+  public:
+    /**
+     * @param store result store for CPU characterizations; nullptr
+     *        disables disk caching (results are still memoized)
+     * @param executor pool used by parallelFor; nullptr runs
+     *        sweeps serially
+     */
+    explicit Context(ResultStore *store = nullptr,
+                     Executor *executor = nullptr);
+
+    /** One workload's CPU characterization (memoized + cached). */
+    const core::CpuCharacterization &
+    cpu(const std::string &name, core::Scale scale, int threads = 8);
+
+    /** All 25 characterizations in allCpuWorkloads() order. */
+    std::vector<core::CpuCharacterization>
+    allCpu(core::Scale scale, int threads = 8);
+
+    /** One workload's recorded launch sequence (memoized). */
+    const gpusim::LaunchSequence &
+    gpu(const std::string &name, core::Scale scale, int version = 0);
+
+    /**
+     * Fan a sweep's iterations across the executor (serial when the
+     * context has none). Iterations must write disjoint result
+     * slots; assembly order is the caller's.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    Executor *executor() const { return exec; }
+    ResultStore *resultStore() const { return store; }
+
+  private:
+    template <typename V> struct Entry
+    {
+        std::once_flag once;
+        V value;
+    };
+
+    ResultStore *store;
+    Executor *exec;
+
+    std::mutex mu;
+    std::map<std::string, std::unique_ptr<Entry<core::CpuCharacterization>>>
+        cpuEntries;
+    std::map<std::string, std::unique_ptr<Entry<gpusim::LaunchSequence>>>
+        gpuEntries;
+};
+
+} // namespace driver
+} // namespace rodinia
+
+#endif // RODINIA_DRIVER_CONTEXT_HH

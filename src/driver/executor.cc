@@ -1,0 +1,343 @@
+#include "driver/executor.hh"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rodinia {
+namespace driver {
+
+struct Executor::Impl
+{
+    using Task = std::function<void()>;
+
+    /** One worker's deque. Owner pops the back; thieves take the
+     *  front. Coarse jobs make a plain mutex the right tradeoff. */
+    struct WorkerQueue
+    {
+        std::mutex mu;
+        std::deque<Task> q;
+    };
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues;
+    std::vector<std::thread> workers;
+    std::atomic<bool> stop{false};
+    std::atomic<size_t> pending{0}; //!< queued, not-yet-claimed tasks
+    std::atomic<size_t> cursor{0};  //!< round-robin slot for outsiders
+    std::mutex idleMu;
+    std::condition_variable idleCv;
+
+    explicit Impl(int n);
+    ~Impl();
+
+    void submit(Task t);
+    bool tryRunOne(int self);
+    void workerLoop(int id);
+
+    // Which executor (if any) owns the current thread. Lets submit()
+    // push to the worker's own queue, and keeps queue indices
+    // straight when several executors coexist (tests).
+    static thread_local Impl *tlsOwner;
+    static thread_local int tlsId;
+};
+
+thread_local Executor::Impl *Executor::Impl::tlsOwner = nullptr;
+thread_local int Executor::Impl::tlsId = -1;
+
+Executor::Impl::Impl(int n)
+{
+    if (n <= 0)
+        n = int(std::thread::hardware_concurrency());
+    if (n < 1)
+        n = 1;
+    queues.reserve(size_t(n));
+    for (int i = 0; i < n; ++i)
+        queues.push_back(std::make_unique<WorkerQueue>());
+    workers.reserve(size_t(n));
+    for (int i = 0; i < n; ++i)
+        workers.emplace_back([this, i] { workerLoop(i); });
+}
+
+Executor::Impl::~Impl()
+{
+    stop.store(true);
+    {
+        std::lock_guard<std::mutex> lock(idleMu);
+    }
+    idleCv.notify_all();
+    for (auto &t : workers)
+        t.join();
+}
+
+void
+Executor::Impl::submit(Task t)
+{
+    size_t slot;
+    if (tlsOwner == this && tlsId >= 0)
+        slot = size_t(tlsId); // keep spawned work local; thieves balance
+    else
+        slot = cursor.fetch_add(1) % queues.size();
+    {
+        std::lock_guard<std::mutex> lock(queues[slot]->mu);
+        queues[slot]->q.push_back(std::move(t));
+    }
+    pending.fetch_add(1);
+    {
+        // Pairs with the predicate re-check in workerLoop: taking the
+        // mutex here closes the missed-wakeup window between a
+        // worker's predicate evaluation and its actual sleep.
+        std::lock_guard<std::mutex> lock(idleMu);
+    }
+    idleCv.notify_one();
+}
+
+bool
+Executor::Impl::tryRunOne(int self)
+{
+    Task task;
+    if (self >= 0) {
+        auto &own = *queues[size_t(self)];
+        std::lock_guard<std::mutex> lock(own.mu);
+        if (!own.q.empty()) {
+            task = std::move(own.q.back());
+            own.q.pop_back();
+        }
+    }
+    if (!task) {
+        size_t n = queues.size();
+        size_t start = self >= 0 ? size_t(self) + 1 : cursor.load();
+        for (size_t k = 0; k < n && !task; ++k) {
+            auto &victim = *queues[(start + k) % n];
+            std::lock_guard<std::mutex> lock(victim.mu);
+            if (!victim.q.empty()) {
+                task = std::move(victim.q.front());
+                victim.q.pop_front();
+            }
+        }
+    }
+    if (!task)
+        return false;
+    pending.fetch_sub(1);
+    task();
+    return true;
+}
+
+void
+Executor::Impl::workerLoop(int id)
+{
+    tlsOwner = this;
+    tlsId = id;
+    for (;;) {
+        if (tryRunOne(id))
+            continue;
+        std::unique_lock<std::mutex> lock(idleMu);
+        idleCv.wait(lock, [this] {
+            return stop.load() || pending.load() > 0;
+        });
+        if (stop.load())
+            return;
+    }
+}
+
+Executor::Executor(int threads) : impl(std::make_unique<Impl>(threads))
+{
+}
+
+Executor::~Executor() = default;
+
+int
+Executor::threadCount() const
+{
+    return int(impl->queues.size());
+}
+
+bool
+Executor::run(JobGraph &graph, support::ProgressReporter *progress)
+{
+    const size_t total = graph.size();
+    if (total == 0)
+        return true;
+
+    struct RunState
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        size_t finished = 0;
+        std::vector<int> remaining;
+        std::vector<char> depFailed;
+        std::vector<std::vector<size_t>> dependents;
+    };
+    RunState st;
+    st.remaining.resize(total);
+    st.depFailed.assign(total, 0);
+    st.dependents.resize(total);
+    for (size_t i = 0; i < total; ++i) {
+        st.remaining[i] = int(graph.job(i).deps.size());
+        for (size_t dep : graph.job(i).deps)
+            st.dependents[dep].push_back(i);
+    }
+
+    // complete() records a job's outcome, releases dependents, and
+    // (for failure) cascades Skipped through the downstream graph.
+    // executeJob() is the task body run on pool threads.
+    std::function<void(size_t, JobStatus, double, const std::string &)>
+        complete;
+    std::function<void(size_t)> executeJob;
+
+    complete = [&](size_t id, JobStatus status, double wallMs,
+                   const std::string &error) {
+        std::vector<size_t> ready;
+        std::vector<size_t> skips;
+        bool lastJob = false;
+        {
+            std::lock_guard<std::mutex> lock(st.mu);
+            Job &j = graph.job(id);
+            j.status = status;
+            j.wallMs = wallMs;
+            j.error = error;
+            for (size_t dep : st.dependents[id]) {
+                if (status != JobStatus::Done)
+                    st.depFailed[dep] = 1;
+                if (--st.remaining[dep] == 0) {
+                    if (st.depFailed[dep])
+                        skips.push_back(dep);
+                    else
+                        ready.push_back(dep);
+                }
+            }
+            ++st.finished;
+            lastJob = st.finished == total;
+        }
+        if (progress) {
+            if (status == JobStatus::Done)
+                progress->jobFinished(graph.job(id).name, wallMs);
+            else
+                progress->jobFailed(graph.job(id).name, error,
+                                    status == JobStatus::Skipped);
+        }
+        for (size_t skip : skips)
+            complete(skip, JobStatus::Skipped, 0.0, "");
+        for (size_t r : ready)
+            impl->submit([&executeJob, r] { executeJob(r); });
+        if (lastJob) {
+            std::lock_guard<std::mutex> lock(st.mu);
+            st.cv.notify_all();
+        }
+    };
+
+    executeJob = [&](size_t id) {
+        {
+            std::lock_guard<std::mutex> lock(st.mu);
+            graph.job(id).status = JobStatus::Running;
+        }
+        if (progress)
+            progress->jobStarted(graph.job(id).name);
+        auto t0 = std::chrono::steady_clock::now();
+        JobStatus status = JobStatus::Done;
+        std::string error;
+        try {
+            graph.job(id).work();
+        } catch (const std::exception &e) {
+            status = JobStatus::Failed;
+            error = e.what();
+        } catch (...) {
+            status = JobStatus::Failed;
+            error = "unknown exception";
+        }
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        complete(id, status, ms, error);
+    };
+
+    for (size_t i = 0; i < total; ++i) {
+        if (st.remaining[i] == 0)
+            impl->submit([&executeJob, i] { executeJob(i); });
+    }
+
+    {
+        std::unique_lock<std::mutex> lock(st.mu);
+        st.cv.wait(lock, [&] { return st.finished == total; });
+    }
+    return graph.allDone();
+}
+
+void
+Executor::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (n == 1) {
+        fn(0);
+        return;
+    }
+
+    struct PfState
+    {
+        std::atomic<size_t> next{0};
+        std::atomic<size_t> active{0};
+        size_t n = 0;
+        const std::function<void(size_t)> *fn = nullptr;
+        std::mutex mu;
+        std::condition_variable cv;
+        std::exception_ptr error; //!< guarded by mu
+    };
+    auto st = std::make_shared<PfState>();
+    st->n = n;
+    st->fn = &fn;
+
+    // Claim protocol: active is raised *before* the claim so that
+    // "next >= n && active == 0" proves no iteration is running or
+    // can still start — late-arriving helper tasks bump active, see
+    // an exhausted range, and leave without touching fn (whose
+    // lifetime ends when parallelFor returns).
+    auto drain = [](PfState *s) {
+        for (;;) {
+            s->active.fetch_add(1);
+            size_t i = s->next.fetch_add(1);
+            if (i >= s->n) {
+                // Exhausted: this is each drainer's single exit, so
+                // the thread whose decrement lands on zero here is
+                // the globally last one out and wakes the waiter.
+                if (s->active.fetch_sub(1) == 1) {
+                    std::lock_guard<std::mutex> lock(s->mu);
+                    s->cv.notify_all();
+                }
+                return;
+            }
+            try {
+                (*s->fn)(i);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(s->mu);
+                    if (!s->error)
+                        s->error = std::current_exception();
+                }
+                s->next.store(s->n); // abandon unclaimed iterations
+            }
+            s->active.fetch_sub(1);
+        }
+    };
+
+    size_t helpers = std::min(size_t(threadCount()), n - 1);
+    for (size_t h = 0; h < helpers; ++h)
+        impl->submit([st, drain] { drain(st.get()); });
+
+    drain(st.get());
+
+    {
+        std::unique_lock<std::mutex> lock(st->mu);
+        st->cv.wait(lock, [&] {
+            return st->next.load() >= st->n && st->active.load() == 0;
+        });
+    }
+    if (st->error)
+        std::rethrow_exception(st->error);
+}
+
+} // namespace driver
+} // namespace rodinia

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Work-stealing executor for experiment job graphs.
+ *
+ * The executor owns a pool of worker threads, each with its own
+ * double-ended task queue: a worker pushes and pops its own queue at
+ * the back (LIFO, keeps caches warm for task trees) and steals from
+ * the front of a victim's queue when its own runs dry (FIFO, takes
+ * the oldest — typically largest — piece of work). Experiment jobs
+ * are coarse (milliseconds to seconds), so the queues are guarded by
+ * plain mutexes rather than lock-free Chase-Lev deques; the stealing
+ * *discipline* is what matters for load balance here, not
+ * nanosecond-scale pop latency.
+ *
+ * Two entry points:
+ *
+ *  - run(graph): execute a JobGraph respecting dependencies. Ready
+ *    jobs are distributed across the pool; when a job finishes, its
+ *    dependents with no remaining dependencies are released. A
+ *    failed job marks every transitive dependent Skipped.
+ *
+ *  - parallelFor(n, fn): data-parallel helper, callable both from
+ *    outside and from *inside* a running job (nested parallelism for
+ *    a figure's inner config sweep). The calling thread participates
+ *    in the loop, so progress never depends on pool availability and
+ *    nesting cannot deadlock.
+ *
+ * Determinism: the executor guarantees nothing about execution
+ * order, so deterministic output is the job author's contract —
+ * every job/iteration writes its own result slot and the caller
+ * assembles slots in a fixed order. All experiment code in this
+ * repo follows that rule, which is what makes N-thread runs
+ * byte-identical to serial ones.
+ */
+
+#ifndef RODINIA_DRIVER_EXECUTOR_HH
+#define RODINIA_DRIVER_EXECUTOR_HH
+
+#include <functional>
+#include <memory>
+
+#include "driver/job.hh"
+#include "support/progress.hh"
+
+namespace rodinia {
+namespace driver {
+
+class Executor
+{
+  public:
+    /**
+     * @param threads worker thread count; <= 0 selects
+     *        std::thread::hardware_concurrency()
+     */
+    explicit Executor(int threads = 0);
+    ~Executor();
+
+    Executor(const Executor &) = delete;
+    Executor &operator=(const Executor &) = delete;
+
+    int threadCount() const;
+
+    /**
+     * Execute every job in the graph, respecting dependencies.
+     * Statuses, wall-clock times, and error messages are written
+     * back into the graph. Not reentrant: one run() at a time.
+     *
+     * @param progress optional lifecycle sink (thread-safe calls)
+     * @return true iff every job finished Done
+     */
+    bool run(JobGraph &graph,
+             support::ProgressReporter *progress = nullptr);
+
+    /**
+     * Run fn(0..n-1) across the pool. The caller claims iterations
+     * too, so this is safe to call from inside a job. Iterations
+     * must be independent; the first exception is rethrown in the
+     * caller after all claimed iterations settle (remaining
+     * iterations are abandoned).
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+} // namespace driver
+} // namespace rodinia
+
+#endif // RODINIA_DRIVER_EXECUTOR_HH

@@ -1,0 +1,170 @@
+#include "driver/result_store.hh"
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "support/hash.hh"
+#include "support/logging.hh"
+
+namespace rodinia {
+namespace driver {
+
+ResultStore::ResultStore(std::filesystem::path dir, bool enabled,
+                         int version)
+    : dir(std::move(dir)), on(enabled), version(version)
+{
+}
+
+uint64_t
+ResultStore::hashKey(const Key &key) const
+{
+    support::Fnv1a h;
+    h.field(version)
+        .field(key.kind)
+        .field(key.workload)
+        .field(key.scale)
+        .field(key.threads)
+        .field(key.config);
+    return h.digest();
+}
+
+std::filesystem::path
+ResultStore::pathFor(const Key &key) const
+{
+    std::ostringstream hex;
+    uint64_t h = hashKey(key);
+    hex << std::hex;
+    hex.width(16);
+    hex.fill('0');
+    hex << h;
+    // kind + workload prefix keeps the directory human-navigable;
+    // the digest carries the actual identity.
+    return dir /
+           (key.kind + "_" + key.workload + "_" + hex.str() + ".txt");
+}
+
+std::optional<std::string>
+ResultStore::load(const Key &key) const
+{
+    if (!on) {
+        nMisses.fetch_add(1);
+        return std::nullopt;
+    }
+    std::ifstream in(pathFor(key), std::ios::binary);
+    if (!in) {
+        nMisses.fetch_add(1);
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!in.good() && !in.eof()) {
+        nMisses.fetch_add(1);
+        return std::nullopt;
+    }
+    nHits.fetch_add(1);
+    return buf.str();
+}
+
+void
+ResultStore::store(const Key &key, const std::string &payload) const
+{
+    if (!on)
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        warn("ResultStore: cannot create ", dir.string(), ": ",
+             ec.message());
+        return;
+    }
+    std::filesystem::path dest = pathFor(key);
+    // Unique temp name per writer so concurrent stores of the same
+    // key never scribble on one another's half-written file.
+    std::ostringstream tmpName;
+    tmpName << dest.filename().string() << ".tmp."
+            << std::hash<std::thread::id>{}(std::this_thread::get_id());
+    std::filesystem::path tmp = dir / tmpName.str();
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out << payload;
+        if (!out.good()) {
+            warn("ResultStore: short write to ", tmp.string());
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
+    }
+    std::filesystem::rename(tmp, dest, ec);
+    if (ec) {
+        warn("ResultStore: rename ", tmp.string(), " -> ",
+             dest.string(), ": ", ec.message());
+        std::filesystem::remove(tmp, ec);
+    }
+}
+
+ResultStore::Key
+cpuCharKey(const std::string &workload, core::Scale scale, int threads)
+{
+    ResultStore::Key key;
+    key.kind = "cpuchar";
+    key.workload = workload;
+    key.scale = int(scale);
+    key.threads = threads;
+    key.config = ""; // CPU characterizations have no sim config
+    return key;
+}
+
+std::string
+serializeCpuChar(const core::CpuCharacterization &c)
+{
+    std::ostringstream outf;
+    outf << "cpuchar " << c.name << " " << c.threads << "\n"
+         << int(c.suite) << "\n";
+    outf << c.mix.intOps << " " << c.mix.fpOps << " " << c.mix.branches
+         << " " << c.mix.loads << " " << c.mix.stores << "\n";
+    outf << c.memEvents << " " << c.instructionSites << " "
+         << c.instructionBlocks << " " << c.dataPages << " "
+         << c.checksum << "\n";
+    outf << c.sweep.size() << "\n";
+    for (size_t i = 0; i < c.sweep.size(); ++i) {
+        const auto &s = c.sweep[i];
+        outf << c.cacheSizes[i] << " " << s.accesses << " " << s.misses
+             << " " << s.evictions << " " << s.residencies << " "
+             << s.sharedResidencies << " " << s.accessesToShared << " "
+             << s.writesToShared << "\n";
+    }
+    return outf.str();
+}
+
+bool
+parseCpuChar(const std::string &payload, core::CpuCharacterization &out)
+{
+    std::istringstream in(payload);
+    std::string tag;
+    size_t sweeps = 0;
+    in >> tag >> out.name >> out.threads;
+    if (tag != "cpuchar")
+        return false;
+    int suite;
+    in >> suite;
+    out.suite = core::Suite(suite);
+    in >> out.mix.intOps >> out.mix.fpOps >> out.mix.branches >>
+        out.mix.loads >> out.mix.stores;
+    in >> out.memEvents >> out.instructionSites >>
+        out.instructionBlocks >> out.dataPages >> out.checksum;
+    in >> sweeps;
+    if (!in || sweeps > 1024)
+        return false;
+    out.cacheSizes.resize(sweeps);
+    out.sweep.resize(sweeps);
+    for (size_t i = 0; i < sweeps; ++i) {
+        auto &s = out.sweep[i];
+        in >> out.cacheSizes[i] >> s.accesses >> s.misses >>
+            s.evictions >> s.residencies >> s.sharedResidencies >>
+            s.accessesToShared >> s.writesToShared;
+    }
+    return bool(in);
+}
+
+} // namespace driver
+} // namespace rodinia

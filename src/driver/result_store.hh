@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Content-hashed, concurrency-safe experiment result store.
+ *
+ * Replaces the ad-hoc `bench_cache/v4_<name>_s<scale>_t<threads>.txt`
+ * naming in bench/common.cc. A result is addressed by an FNV-1a
+ * digest over every field that determines its content — result
+ * kind, workload name, scale, thread count, simulator-config string,
+ * and a store version — so adding a key field or bumping kVersion
+ * automatically invalidates stale entries instead of silently
+ * returning them.
+ *
+ * Writes are crash-safe and safe under concurrent writers: the
+ * payload goes to a unique temporary in the same directory and is
+ * then published with an atomic std::filesystem::rename. A killed
+ * process can leave a *.tmp droppings file but never a truncated
+ * entry; concurrent writers of the same key race benignly (results
+ * are deterministic, so both wrote identical bytes).
+ */
+
+#ifndef RODINIA_DRIVER_RESULT_STORE_HH
+#define RODINIA_DRIVER_RESULT_STORE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "core/characterize.hh"
+
+namespace rodinia {
+namespace driver {
+
+class ResultStore
+{
+  public:
+    /** Bump to invalidate every previously stored result. */
+    static constexpr int kVersion = 5;
+
+    /** Everything that determines a stored result's content. */
+    struct Key
+    {
+        std::string kind;     //!< e.g. "cpuchar"
+        std::string workload; //!< registry name
+        int scale = 0;        //!< int(core::Scale)
+        int threads = 0;      //!< worker threads (0 if n/a)
+        std::string config;   //!< sim-config serialization ("" if n/a)
+    };
+
+    /**
+     * @param dir cache directory (created lazily on first store)
+     * @param enabled false turns load into a constant miss and
+     *        store into a no-op (--no-cache)
+     * @param version store version folded into every hash; exposed
+     *        for invalidation tests
+     */
+    explicit ResultStore(std::filesystem::path dir, bool enabled = true,
+                         int version = kVersion);
+
+    /** FNV-1a digest of every key field plus the store version. */
+    uint64_t hashKey(const Key &key) const;
+
+    /** File that does/would hold this key's payload. */
+    std::filesystem::path pathFor(const Key &key) const;
+
+    /** Payload for the key, or nullopt on miss. */
+    std::optional<std::string> load(const Key &key) const;
+
+    /** Atomically publish the payload for the key. */
+    void store(const Key &key, const std::string &payload) const;
+
+    bool enabled() const { return on; }
+    const std::filesystem::path &directory() const { return dir; }
+
+    /** Cache traffic since construction (for run summaries). */
+    uint64_t hits() const { return nHits.load(); }
+    uint64_t misses() const { return nMisses.load(); }
+
+  private:
+    std::filesystem::path dir;
+    bool on;
+    int version;
+    mutable std::atomic<uint64_t> nHits{0};
+    mutable std::atomic<uint64_t> nMisses{0};
+};
+
+/** Key for a CPU characterization result. */
+ResultStore::Key cpuCharKey(const std::string &workload,
+                            core::Scale scale, int threads);
+
+/** Serialize a CPU characterization to the store payload format. */
+std::string serializeCpuChar(const core::CpuCharacterization &c);
+
+/**
+ * Parse a store payload back into a characterization.
+ * @return false if the payload is malformed (treated as a miss)
+ */
+bool parseCpuChar(const std::string &payload,
+                  core::CpuCharacterization &out);
+
+} // namespace driver
+} // namespace rodinia
+
+#endif // RODINIA_DRIVER_RESULT_STORE_HH

@@ -1,0 +1,81 @@
+#include "gpusim/devicemem.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace rodinia {
+namespace gpusim {
+
+void
+DeviceSpace::add(const void *p, size_t bytes)
+{
+    if (p == nullptr || bytes == 0)
+        return;
+    Buffer b;
+    b.base = uint64_t(uintptr_t(p));
+    b.bytes = bytes;
+    b.canonical = top;
+    top = (top + bytes + kAlign - 1) / kAlign * kAlign;
+
+    auto it = std::upper_bound(buffers.begin(), buffers.end(), b,
+                               [](const Buffer &x, const Buffer &y) {
+                                   return x.base < y.base;
+                               });
+    // Overlap would make the address -> buffer lookup ambiguous; it
+    // means a registered buffer died and its storage was reused.
+    if (it != buffers.end() && b.base + b.bytes > it->base)
+        fatal("DeviceSpace: buffer overlaps a later registration");
+    if (it != buffers.begin()) {
+        const Buffer &prev = *(it - 1);
+        if (prev.base + prev.bytes > b.base)
+            fatal("DeviceSpace: buffer overlaps an earlier registration");
+    }
+    buffers.insert(it, b);
+}
+
+void
+DeviceSpace::rewrite(LaunchSequence &seq) const
+{
+    // First-touch page map for addresses in no registered buffer
+    // (stack scalars referenced via ctx.param(&x) and the like).
+    std::unordered_map<uint64_t, uint64_t> hostPages;
+
+    auto remap = [&](uint64_t addr) -> uint64_t {
+        // Registered buffer: canonical base + offset.
+        auto it = std::upper_bound(
+            buffers.begin(), buffers.end(), addr,
+            [](uint64_t a, const Buffer &x) { return a < x.base; });
+        if (it != buffers.begin()) {
+            const Buffer &b = *(it - 1);
+            if (addr - b.base < b.bytes)
+                return b.canonical + (addr - b.base);
+        }
+        // Fallback: deterministic page-granular relocation.
+        uint64_t page = addr >> 12;
+        auto [slot, fresh] =
+            hostPages.try_emplace(page, kHostBase >> 12);
+        if (fresh)
+            slot->second = (kHostBase >> 12) + hostPages.size() - 1;
+        return (slot->second << 12) | (addr & 0xfff);
+    };
+
+    for (auto &launch : seq.launches) {
+        for (auto &block : launch.blocks) {
+            for (auto &lane : block.lanes) {
+                for (auto &e : lane) {
+                    if (e.op != GOp::Load && e.op != GOp::Store)
+                        continue;
+                    if (e.space == Space::Shared ||
+                        e.space == Space::None)
+                        continue;
+                    e.addr = remap(e.addr);
+                }
+            }
+        }
+    }
+}
+
+} // namespace gpusim
+} // namespace rodinia

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Canonical device address space for recorded kernel traces.
+ *
+ * Kernels record the real host addresses of the std::vector buffers
+ * that stand in for device memory, so a raw trace depends on the
+ * process's heap layout: the same workload recorded in a different
+ * binary (or after different prior allocations) yields different
+ * coalescing, cache-set and channel behavior. Real CUDA does not
+ * have this problem because cudaMalloc hands out addresses from a
+ * private device address space.
+ *
+ * DeviceSpace reproduces that: a workload's runGpu registers every
+ * traced buffer (the cudaMalloc analog), and rewrite() relocates all
+ * recorded addresses onto canonical, 256-byte-aligned bases assigned
+ * in registration order — matching cudaMalloc's 256-byte alignment
+ * guarantee. Offsets within a buffer are preserved exactly, so
+ * coalescing and cache behavior are those of the canonical layout,
+ * identical across processes, threads, and allocation histories.
+ *
+ * Addresses outside every registered buffer (stack scalars passed by
+ * pointer, forgotten registrations) are remapped page-wise on first
+ * touch in deterministic trace order, preserving page offsets.
+ * Shared-memory addresses are already virtual (the recorder's
+ * bump allocator) and are left untouched.
+ */
+
+#ifndef RODINIA_GPUSIM_DEVICEMEM_HH
+#define RODINIA_GPUSIM_DEVICEMEM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/recorder.hh"
+
+namespace rodinia {
+namespace gpusim {
+
+class DeviceSpace
+{
+  public:
+    /** Canonical base of the first registered buffer. */
+    static constexpr uint64_t kDeviceBase = uint64_t(1) << 32;
+    /** cudaMalloc alignment guarantee. */
+    static constexpr uint64_t kAlign = 256;
+    /** Fallback region for addresses in no registered buffer. */
+    static constexpr uint64_t kHostBase = uint64_t(1) << 40;
+
+    /**
+     * Register a host buffer as a device allocation. Buffers must be
+     * live (distinct addresses) at registration time; overlapping
+     * registrations are fatal.
+     */
+    void add(const void *p, size_t bytes);
+
+    /** Register a whole vector's storage. */
+    template <typename T>
+    void
+    add(const std::vector<T> &v)
+    {
+        if (!v.empty())
+            add(v.data(), v.size() * sizeof(T));
+    }
+
+    /**
+     * Rewrite every recorded global/const/tex/param/local address
+     * into the canonical space. Call once, after the last
+     * recordKernel of the sequence and before the buffers die.
+     */
+    void rewrite(LaunchSequence &seq) const;
+
+  private:
+    struct Buffer
+    {
+        uint64_t base = 0;      //!< real host address
+        uint64_t bytes = 0;
+        uint64_t canonical = 0; //!< assigned device address
+    };
+
+    std::vector<Buffer> buffers; //!< sorted by real base
+    uint64_t top = kDeviceBase;  //!< next canonical base
+};
+
+} // namespace gpusim
+} // namespace rodinia
+
+#endif // RODINIA_GPUSIM_DEVICEMEM_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * FNV-1a hashing over heterogeneous key fields.
+ *
+ * Used by the driver's content-hashed result store: a store key is
+ * built by feeding each field (workload name, scale, thread count,
+ * sim-config string, store version) into one Fnv1a accumulator.
+ * Every field is framed with its length so that adjacent string
+ * fields can never alias ("ab"+"c" vs "a"+"bc").
+ */
+
+#ifndef RODINIA_SUPPORT_HASH_HH
+#define RODINIA_SUPPORT_HASH_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rodinia {
+namespace support {
+
+/** Incremental 64-bit FNV-1a hasher. */
+class Fnv1a
+{
+  public:
+    static constexpr uint64_t kOffset = 1469598103934665603ULL;
+    static constexpr uint64_t kPrime = 1099511628211ULL;
+
+    /** Absorb raw bytes. */
+    Fnv1a &
+    bytes(const void *data, size_t len)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (size_t i = 0; i < len; ++i) {
+            state ^= p[i];
+            state *= kPrime;
+        }
+        return *this;
+    }
+
+    /** Absorb a length-framed string field. */
+    Fnv1a &
+    field(std::string_view s)
+    {
+        uint64_t len = s.size();
+        bytes(&len, sizeof(len));
+        return bytes(s.data(), s.size());
+    }
+
+    /** Absorb an integer field. */
+    Fnv1a &
+    field(uint64_t v)
+    {
+        return bytes(&v, sizeof(v));
+    }
+
+    Fnv1a &
+    field(int v)
+    {
+        return field(uint64_t(int64_t(v)));
+    }
+
+    uint64_t digest() const { return state; }
+
+    /** Digest formatted as 16 lowercase hex digits. */
+    std::string
+    hex() const
+    {
+        static const char *digits = "0123456789abcdef";
+        std::string out(16, '0');
+        uint64_t h = state;
+        for (int i = 15; i >= 0; --i) {
+            out[size_t(i)] = digits[h & 0xf];
+            h >>= 4;
+        }
+        return out;
+    }
+
+  private:
+    uint64_t state = kOffset;
+};
+
+} // namespace support
+} // namespace rodinia
+
+#endif // RODINIA_SUPPORT_HASH_HH

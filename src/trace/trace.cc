@@ -104,6 +104,42 @@ TraceSession::dataFootprintPages() const
 }
 
 void
+TraceSession::normalizeAddresses()
+{
+    // Assign virtual pages in first-touch order over the same
+    // interleaving the cache simulator replays, so the mapping (and
+    // everything downstream) is deterministic.
+    std::unordered_map<uint64_t, uint64_t> pages;
+    constexpr uint64_t basePage = uint64_t(1) << 20; // 4 GB mark
+    auto vpage = [&](uint64_t page) {
+        auto [it, fresh] = pages.try_emplace(page, 0);
+        if (fresh)
+            it->second = basePage + pages.size() - 1;
+        return it->second;
+    };
+    forEachInterleaved([&](int, const MemEvent &e) {
+        uint64_t first = e.addr >> 12;
+        uint64_t last = (e.addr + e.size - 1) >> 12;
+        if (first == last) {
+            vpage(first);
+            return;
+        }
+        // A straddling access wants contiguous virtual pages; grant
+        // that when both are unmapped (the common first touch).
+        if (!pages.count(first) && !pages.count(last)) {
+            uint64_t v = vpage(first);
+            pages.emplace(last, v + 1);
+        } else {
+            vpage(first);
+            vpage(last);
+        }
+    });
+    for (auto &c : ctxs)
+        for (auto &e : c->memTrace)
+            e.addr = (vpage(e.addr >> 12) << 12) | (e.addr & 0xfff);
+}
+
+void
 TraceSession::forEachInterleaved(
     const std::function<void(int tid, const MemEvent &)> &fn) const
 {

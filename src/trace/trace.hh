@@ -261,6 +261,18 @@ class TraceSession
     void forEachInterleaved(
         const std::function<void(int tid, const MemEvent &)> &fn) const;
 
+    /**
+     * Relocate every recorded address onto a canonical page layout:
+     * each distinct 4 kB page is assigned a sequential virtual page
+     * on first touch in the deterministic interleaved order, with
+     * page offsets preserved. Line splits, footprints and sharing
+     * are unchanged; cache-set indexing and page identity become
+     * independent of where the heap happened to land (ASLR), so a
+     * characterization is reproducible run to run. Call once, after
+     * run() and before replaying the trace.
+     */
+    void normalizeAddresses();
+
     /** Bytes of machine code modeled per instrumentation site. */
     static constexpr uint64_t bytesPerSite = 16;
 

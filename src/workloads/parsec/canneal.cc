@@ -61,7 +61,6 @@ Canneal::runCpu(trace::TraceSession &session, core::Scale scale)
     // Striped locks, as canneal's lock-free swaps would contend.
     constexpr int kLocks = 64;
     std::mutex locks[kLocks];
-    const int nt = session.numThreads();
 
     auto wireCost = [&](trace::ThreadCtx &ctx, int e) {
         int cost = 0;

@@ -7,6 +7,8 @@
  * never silently drop a benchmark from the suites.
  */
 
+#include <mutex>
+
 #include "core/workload.hh"
 #include "workloads/parsec/parsec.hh"
 #include "workloads/rodinia/backprop.hh"
@@ -28,38 +30,39 @@ namespace core {
 void
 registerAllWorkloads()
 {
-    static bool done = false;
-    if (done)
-        return;
-    done = true;
-
-    using namespace workloads;
-    // Rodinia (Table I order).
-    registerKmeans();
-    registerNw();
-    registerHotspot();
-    registerBackprop();
-    registerSrad();
-    registerLeukocyte();
-    registerBfs();
-    registerStreamcluster(); // shared with Parsec
-    registerMummer();
-    registerCfd();
-    registerLud();
-    registerHeartwall();
-    // Parsec (Table V order).
-    registerBlackscholes();
-    registerBodytrack();
-    registerCanneal();
-    registerDedup();
-    registerFacesim();
-    registerFerret();
-    registerFluidanimate();
-    registerFreqmine();
-    registerRaytrace();
-    registerSwaptions();
-    registerVips();
-    registerX264();
+    // The driver's pool threads may race on the first call, so the
+    // idempotence guard must be a real once (a plain static bool
+    // would let a second thread observe a half-filled registry).
+    static std::once_flag once;
+    std::call_once(once, [] {
+        using namespace workloads;
+        // Rodinia (Table I order).
+        registerKmeans();
+        registerNw();
+        registerHotspot();
+        registerBackprop();
+        registerSrad();
+        registerLeukocyte();
+        registerBfs();
+        registerStreamcluster(); // shared with Parsec
+        registerMummer();
+        registerCfd();
+        registerLud();
+        registerHeartwall();
+        // Parsec (Table V order).
+        registerBlackscholes();
+        registerBodytrack();
+        registerCanneal();
+        registerDedup();
+        registerFacesim();
+        registerFerret();
+        registerFluidanimate();
+        registerFreqmine();
+        registerRaytrace();
+        registerSwaptions();
+        registerVips();
+        registerX264();
+    });
 }
 
 } // namespace core

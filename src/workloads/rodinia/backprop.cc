@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "gpusim/devicemem.hh"
 #include "support/rng.hh"
 
 namespace rodinia {
@@ -177,6 +178,11 @@ BackProp::runGpu(core::Scale scale, int version)
     launch.gridDim = numTiles;
     launch.blockDim = kTile * kTile;
 
+    gpusim::DeviceSpace dev;
+    dev.add(net.x);
+    dev.add(net.w1);
+    dev.add(partialOut);
+
     gpusim::LaunchSequence seq;
 
     // Forward kernel: per-tile multiply plus shared tree reduction.
@@ -242,6 +248,8 @@ BackProp::runGpu(core::Scale scale, int version)
         }
     }
 
+    dev.add(deltaHid);
+
     // Backward kernel: coalesced weight updates.
     auto adjust = [&](gpusim::KernelCtx &ctx) {
         const int tile = ctx.blockIdx();
@@ -260,6 +268,7 @@ BackProp::runGpu(core::Scale scale, int version)
 
     digest = core::hashRange(net.w1.begin(), net.w1.end());
     digest = core::hashCombine(digest, uint64_t(out * 1e6f));
+    dev.rewrite(seq);
     return seq;
 }
 

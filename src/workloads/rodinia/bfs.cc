@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "gpusim/devicemem.hh"
 #include "support/rng.hh"
 
 namespace rodinia {
@@ -164,6 +165,13 @@ Bfs::runGpu(core::Scale scale, int version)
     launch.gridDim = (g.numNodes + launch.blockDim - 1) /
                      launch.blockDim;
 
+    gpusim::DeviceSpace dev;
+    dev.add(g.rowStart);
+    dev.add(g.adj);
+    dev.add(cost);
+    dev.add(frontier);
+    dev.add(next);
+
     gpusim::LaunchSequence seq;
     bool more = true;
     while (more) {
@@ -199,6 +207,7 @@ Bfs::runGpu(core::Scale scale, int version)
     }
 
     digest = core::hashRange(cost.begin(), cost.end());
+    dev.rewrite(seq);
     return seq;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "gpusim/devicemem.hh"
 #include "support/rng.hh"
 
 namespace rodinia {
@@ -216,6 +217,17 @@ Cfd::runGpu(core::Scale scale, int version)
     launch.blockDim = 128;
     launch.gridDim = (m.nel + launch.blockDim - 1) / launch.blockDim;
 
+    gpusim::DeviceSpace dev;
+    dev.add(m.density);
+    dev.add(m.momx);
+    dev.add(m.momy);
+    dev.add(m.momz);
+    dev.add(m.energy);
+    dev.add(m.neighbor);
+    dev.add(m.normal);
+    dev.add(m.area);
+    dev.add(flux);
+
     gpusim::LaunchSequence seq;
     for (int rk = 0; rk < p.rkSteps; ++rk) {
         // compute_flux kernel.
@@ -295,6 +307,7 @@ Cfd::runGpu(core::Scale scale, int version)
     digest = core::hashRange(m.density.begin(), m.density.end());
     digest = core::hashCombine(
         digest, core::hashRange(m.energy.begin(), m.energy.end()));
+    dev.rewrite(seq);
     return seq;
 }
 

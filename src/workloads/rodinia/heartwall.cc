@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "gpusim/devicemem.hh"
 #include "support/rng.hh"
 
 namespace rodinia {
@@ -195,10 +196,22 @@ HeartWall::runGpu(core::Scale scale, int version)
     const int positions = p.winSize * p.winSize;
     const int perThread = (positions + blockDim - 1) / blockDim;
 
+    gpusim::DeviceSpace dev;
+    for (const auto &frame : d.frames)
+        dev.add(frame);
+    dev.add(d.templates);
+    // Stable output buffers: the per-frame results are copied back
+    // into d.pos* below, so one allocation serves every frame (and
+    // keeps the recorded addresses registrable).
+    std::vector<int> newR = d.posR, newC = d.posC;
+    dev.add(newR);
+    dev.add(newC);
+
     gpusim::LaunchSequence seq;
     for (int f = 1; f < p.frames; ++f) {
         const auto &img = d.frames[f];
-        std::vector<int> newR = d.posR, newC = d.posC;
+        newR = d.posR;
+        newC = d.posC;
 
         gpusim::LaunchConfig launch;
         launch.gridDim = p.points;
@@ -314,6 +327,7 @@ HeartWall::runGpu(core::Scale scale, int version)
     digest = core::hashRange(d.posR.begin(), d.posR.end());
     digest = core::hashCombine(
         digest, core::hashRange(d.posC.begin(), d.posC.end()));
+    dev.rewrite(seq);
     return seq;
 }
 

@@ -1,5 +1,6 @@
 #include "workloads/rodinia/hotspot.hh"
 
+#include "gpusim/devicemem.hh"
 #include "support/rng.hh"
 
 namespace rodinia {
@@ -160,6 +161,11 @@ HotSpot::runGpu(core::Scale scale, int version)
     const int d0 = kBlock + 4; // input tile incl. 2-cell halo
     const int d1 = kBlock + 2; // after the first internal step
 
+    gpusim::DeviceSpace dev;
+    dev.add(temp);
+    dev.add(power);
+    dev.add(next);
+
     gpusim::LaunchSequence seq;
     for (int it = 0; it + 1 < p.iters; it += 2) {
         std::vector<float> &in = (it % 4 == 0) ? temp : next;
@@ -245,6 +251,7 @@ HotSpot::runGpu(core::Scale scale, int version)
     // would fall back to the host; keep iters even.
     const std::vector<float> &fin = (p.iters / 2 % 2 == 0) ? temp : next;
     digest = core::hashRange(fin.begin(), fin.end());
+    dev.rewrite(seq);
     return seq;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "gpusim/devicemem.hh"
 #include "support/rng.hh"
 
 namespace rodinia {
@@ -185,6 +186,11 @@ Kmeans::runGpu(core::Scale scale, int version)
         for (int f = 0; f < p.d; ++f)
             pointsT[size_t(f) * p.n + i] = points[size_t(i) * p.d + f];
 
+    gpusim::DeviceSpace dev;
+    dev.add(pointsT);
+    dev.add(centers);
+    dev.add(membership);
+
     gpusim::LaunchSequence seq;
     const int blockDim = 128;
     gpusim::LaunchConfig launch;
@@ -243,6 +249,7 @@ Kmeans::runGpu(core::Scale scale, int version)
     digest = core::hashRange(membership.begin(), membership.end());
     digest = core::hashCombine(
         digest, core::hashRange(centers.begin(), centers.end()));
+    dev.rewrite(seq);
     return seq;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "gpusim/devicemem.hh"
 #include "support/rng.hh"
 
 namespace rodinia {
@@ -161,6 +162,14 @@ Leukocyte::runGpu(core::Scale scale, int version)
     const int width = c1 - c0;
     const int numPixels = (r1 - r0) * width;
 
+    gpusim::DeviceSpace dev;
+    dev.add(d.image);
+    dev.add(d.sinT);
+    dev.add(d.cosT);
+    dev.add(d.weightT);
+    dev.add(d.score);
+    dev.add(d.dilated);
+
     gpusim::LaunchSequence seq;
 
     auto samplePixel = [&](gpusim::KernelCtx &ctx, int r, int c) {
@@ -230,6 +239,7 @@ Leukocyte::runGpu(core::Scale scale, int version)
         launch.gridDim = numBlocks;
         launch.blockDim = blockDim;
         std::vector<float> blockBest(numBlocks, 0.0f);
+        dev.add(blockBest);
 
         auto persistent = [&](gpusim::KernelCtx &ctx) {
             auto scores = ctx.shared<float>(blockDim);
@@ -289,6 +299,7 @@ Leukocyte::runGpu(core::Scale scale, int version)
     }
 
     digest = core::hashRange(d.dilated.begin(), d.dilated.end());
+    dev.rewrite(seq);
     return seq;
 }
 

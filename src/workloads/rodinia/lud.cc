@@ -1,5 +1,6 @@
 #include "workloads/rodinia/lud.hh"
 
+#include "gpusim/devicemem.hh"
 #include "support/rng.hh"
 
 namespace rodinia {
@@ -101,6 +102,8 @@ Lud::runGpu(core::Scale scale, int version)
     const int n = p.n;
     out = makeMatrix(n);
     std::vector<float> &a = out;
+    gpusim::DeviceSpace dev;
+    dev.add(a);
     gpusim::LaunchSequence seq;
 
     if (version == 1) {
@@ -130,6 +133,7 @@ Lud::runGpu(core::Scale scale, int version)
             seq.add(gpusim::recordKernel(launch, kernel));
         }
         digest = core::hashRange(a.begin(), a.end());
+        dev.rewrite(seq);
         return seq;
     }
 
@@ -298,6 +302,7 @@ Lud::runGpu(core::Scale scale, int version)
     }
 
     digest = core::hashRange(a.begin(), a.end());
+    dev.rewrite(seq);
     return seq;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "gpusim/devicemem.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 
@@ -293,6 +294,12 @@ Mummer::runGpu(core::Scale scale, int version)
     const auto &nodes = tree.allNodes();
     const auto &text = tree.textData();
 
+    gpusim::DeviceSpace dev;
+    dev.add(queries);
+    dev.add(nodes);
+    dev.add(text);
+    dev.add(results);
+
     gpusim::LaunchConfig launch;
     launch.blockDim = 128;
     launch.gridDim = (p.numQueries + launch.blockDim - 1) /
@@ -334,6 +341,7 @@ Mummer::runGpu(core::Scale scale, int version)
     seq.add(gpusim::recordKernel(launch, kernel));
 
     digest = core::hashRange(results.begin(), results.end());
+    dev.rewrite(seq);
     return seq;
 }
 

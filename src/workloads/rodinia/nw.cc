@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "gpusim/devicemem.hh"
 #include "support/rng.hh"
 
 namespace rodinia {
@@ -146,6 +147,10 @@ NeedlemanWunsch::runGpu(core::Scale scale, int version)
     const int tiles = n / kBlock;
     const int penalty = p.penalty;
 
+    gpusim::DeviceSpace dev;
+    dev.add(d.score);
+    dev.add(d.ref);
+
     gpusim::LaunchSequence seq;
 
     // Tiles along each tile-anti-diagonal are independent.
@@ -244,6 +249,7 @@ NeedlemanWunsch::runGpu(core::Scale scale, int version)
 
     score = d.score[size_t(n) * w + n];
     digest = digestOf(d, n);
+    dev.rewrite(seq);
     return seq;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "gpusim/devicemem.hh"
 #include "support/rng.hh"
 
 namespace rodinia {
@@ -207,6 +208,14 @@ Srad::runGpu(core::Scale scale, int version)
     launch.gridDim = tilesX * tilesY;
     launch.blockDim = kBlock * kBlock;
 
+    gpusim::DeviceSpace dev;
+    dev.add(img);
+    dev.add(dn);
+    dev.add(ds);
+    dev.add(dw);
+    dev.add(de);
+    dev.add(cc);
+
     gpusim::LaunchSequence seq;
     for (int it = 0; it < p.iters; ++it) {
         const float q0sq = computeQ0sq(img);
@@ -324,6 +333,7 @@ Srad::runGpu(core::Scale scale, int version)
     }
 
     digest = core::hashRange(img.begin(), img.end());
+    dev.rewrite(seq);
     return seq;
 }
 

@@ -1,5 +1,6 @@
 #include "workloads/rodinia/streamcluster.hh"
 
+#include "gpusim/devicemem.hh"
 #include "support/rng.hh"
 
 namespace rodinia {
@@ -148,6 +149,12 @@ StreamCluster::runGpu(core::Scale scale, int version)
     launch.blockDim = 64;
     launch.gridDim = (p.n + launch.blockDim - 1) / launch.blockDim;
 
+    gpusim::DeviceSpace dev;
+    dev.add(d.points);
+    dev.add(d.weight);
+    dev.add(d.cost);
+    dev.add(d.assign);
+
     gpusim::LaunchSequence seq;
     for (int c : d.candidates) {
         auto kernel = [&, c](gpusim::KernelCtx &ctx) {
@@ -185,6 +192,7 @@ StreamCluster::runGpu(core::Scale scale, int version)
     digest = core::hashRange(d.assign.begin(), d.assign.end());
     digest = core::hashCombine(
         digest, core::hashRange(d.cost.begin(), d.cost.end()));
+    dev.rewrite(seq);
     return seq;
 }
 

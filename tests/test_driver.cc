@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Driver subsystem tests: job-graph execution order, dependency
+ * failure propagation, executor determinism across thread counts,
+ * and ResultStore hit/miss/version-invalidation behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "driver/context.hh"
+#include "driver/executor.hh"
+#include "driver/figures.hh"
+#include "driver/job.hh"
+#include "driver/result_store.hh"
+
+using namespace rodinia;
+using driver::Executor;
+using driver::JobGraph;
+using driver::JobStatus;
+using driver::ResultStore;
+
+namespace {
+
+/** Fresh scratch directory under the build tree. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &tag)
+        : path(std::filesystem::temp_directory_path() /
+               ("rodinia_driver_test_" + tag))
+    {
+        std::filesystem::remove_all(path);
+    }
+    ~ScratchDir() { std::filesystem::remove_all(path); }
+    const std::filesystem::path &dir() const { return path; }
+
+  private:
+    std::filesystem::path path;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------
+// JobGraph
+// ---------------------------------------------------------------
+
+TEST(JobGraph, ExecutesDependenciesFirst)
+{
+    // Diamond with a tail: a -> {b, c} -> d -> e.
+    JobGraph g;
+    std::mutex mu;
+    std::vector<std::string> order;
+    auto record = [&](const char *tag) {
+        std::lock_guard<std::mutex> lock(mu);
+        order.push_back(tag);
+    };
+    size_t a = g.add("a", [&] { record("a"); });
+    size_t b = g.add("b", [&] { record("b"); }, {a});
+    size_t c = g.add("c", [&] { record("c"); }, {a});
+    size_t d = g.add("d", [&] { record("d"); }, {b, c});
+    g.add("e", [&] { record("e"); }, {d});
+
+    for (int threads : {1, 4}) {
+        order.clear();
+        JobGraph run = g; // statuses are per-run
+        Executor ex(threads);
+        ASSERT_TRUE(ex.run(run));
+        EXPECT_TRUE(run.allDone());
+        ASSERT_EQ(order.size(), 5u);
+        auto pos = [&](const std::string &tag) {
+            for (size_t i = 0; i < order.size(); ++i)
+                if (order[i] == tag)
+                    return i;
+            return size_t(-1);
+        };
+        EXPECT_LT(pos("a"), pos("b"));
+        EXPECT_LT(pos("a"), pos("c"));
+        EXPECT_LT(pos("b"), pos("d"));
+        EXPECT_LT(pos("c"), pos("d"));
+        EXPECT_LT(pos("d"), pos("e"));
+    }
+}
+
+TEST(JobGraph, RejectsForwardDependencies)
+{
+    JobGraph g;
+    size_t a = g.add("a", [] {});
+    EXPECT_DEATH(g.add("b", [] {}, {a + 1}), "depends on job");
+}
+
+TEST(JobGraph, FailurePropagatesToTransitiveDependents)
+{
+    JobGraph g;
+    std::atomic<int> ran{0};
+    size_t a = g.add("a", [&] { ++ran; });
+    size_t boom = g.add(
+        "boom", [&] { throw std::runtime_error("kaput"); }, {a});
+    size_t child = g.add("child", [&] { ++ran; }, {boom});
+    size_t grandchild = g.add("grandchild", [&] { ++ran; }, {child});
+    size_t bystander = g.add("bystander", [&] { ++ran; }, {a});
+
+    Executor ex(2);
+    EXPECT_FALSE(ex.run(g));
+    EXPECT_EQ(g.job(a).status, JobStatus::Done);
+    EXPECT_EQ(g.job(boom).status, JobStatus::Failed);
+    EXPECT_EQ(g.job(boom).error, "kaput");
+    EXPECT_EQ(g.job(child).status, JobStatus::Skipped);
+    EXPECT_EQ(g.job(grandchild).status, JobStatus::Skipped);
+    EXPECT_EQ(g.job(bystander).status, JobStatus::Done);
+    EXPECT_EQ(ran.load(), 2); // a and bystander only
+}
+
+// ---------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------
+
+TEST(Executor, ParallelForCoversEveryIndexExactlyOnce)
+{
+    Executor ex(4);
+    std::vector<std::atomic<int>> hits(1000);
+    ex.parallelFor(hits.size(),
+                   [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Executor, ParallelForRethrowsFirstError)
+{
+    Executor ex(4);
+    EXPECT_THROW(ex.parallelFor(64,
+                                [&](size_t i) {
+                                    if (i == 7)
+                                        throw std::runtime_error("x");
+                                }),
+                 std::runtime_error);
+}
+
+TEST(Executor, NestedParallelForDoesNotDeadlock)
+{
+    Executor ex(2);
+    JobGraph g;
+    std::atomic<int> total{0};
+    for (int j = 0; j < 4; ++j) {
+        g.add("outer" + std::to_string(j), [&] {
+            ex.parallelFor(8, [&](size_t) { total.fetch_add(1); });
+        });
+    }
+    ASSERT_TRUE(ex.run(g));
+    EXPECT_EQ(total.load(), 32);
+}
+
+TEST(Executor, DeterministicAcrossThreadCounts)
+{
+    // Slot-ordered assembly: the result must not depend on the
+    // worker count or the interleaving.
+    auto compute = [](int threads) {
+        Executor ex(threads);
+        JobGraph g;
+        std::vector<double> slots(64, 0.0);
+        for (size_t j = 0; j < slots.size(); ++j) {
+            g.add("slot" + std::to_string(j), [&slots, j, &ex] {
+                double acc = double(j) + 1.0;
+                ex.parallelFor(16, [&](size_t i) {
+                    // independent per-iteration contribution
+                    slots[j] += 0.0; // no cross-iteration state
+                    (void)i;
+                });
+                for (int i = 0; i < 1000; ++i)
+                    acc = acc * 1.0000001 + double(j % 7);
+                slots[j] = acc;
+            });
+        }
+        bool ok = ex.run(g);
+        EXPECT_TRUE(ok);
+        return slots;
+    };
+    auto serial = compute(1);
+    auto wide = compute(8);
+    EXPECT_EQ(serial, wide);
+}
+
+TEST(Executor, WallClockAccountingIsRecorded)
+{
+    Executor ex(2);
+    JobGraph g;
+    g.add("sleepless", [] {
+        volatile double x = 0;
+        for (int i = 0; i < 100000; ++i)
+            x += double(i);
+    });
+    ASSERT_TRUE(ex.run(g));
+    EXPECT_EQ(g.job(0).status, JobStatus::Done);
+    EXPECT_GE(g.job(0).wallMs, 0.0);
+    EXPECT_GE(g.totalWorkMs(), g.job(0).wallMs);
+}
+
+// ---------------------------------------------------------------
+// ResultStore
+// ---------------------------------------------------------------
+
+TEST(ResultStore, MissThenHit)
+{
+    ScratchDir scratch("store");
+    ResultStore store(scratch.dir());
+    auto key = driver::cpuCharKey("kmeans", core::Scale::Full, 8);
+
+    EXPECT_FALSE(store.load(key).has_value());
+    EXPECT_EQ(store.misses(), 1u);
+
+    store.store(key, "payload-bytes");
+    auto back = store.load(key);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, "payload-bytes");
+    EXPECT_EQ(store.hits(), 1u);
+}
+
+TEST(ResultStore, KeyFieldsChangeThePath)
+{
+    ScratchDir scratch("keys");
+    ResultStore store(scratch.dir());
+    auto base = driver::cpuCharKey("kmeans", core::Scale::Full, 8);
+
+    auto otherScale = driver::cpuCharKey("kmeans", core::Scale::Small, 8);
+    auto otherThreads = driver::cpuCharKey("kmeans", core::Scale::Full, 4);
+    auto otherName = driver::cpuCharKey("bfs", core::Scale::Full, 8);
+    EXPECT_NE(store.pathFor(base), store.pathFor(otherScale));
+    EXPECT_NE(store.pathFor(base), store.pathFor(otherThreads));
+    EXPECT_NE(store.pathFor(base), store.pathFor(otherName));
+
+    auto config = base;
+    config.config = "simd=16";
+    EXPECT_NE(store.pathFor(base), store.pathFor(config));
+
+    store.store(base, "one");
+    EXPECT_FALSE(store.load(otherScale).has_value());
+    EXPECT_FALSE(store.load(otherThreads).has_value());
+}
+
+TEST(ResultStore, VersionBumpInvalidates)
+{
+    ScratchDir scratch("version");
+    auto key = driver::cpuCharKey("kmeans", core::Scale::Full, 8);
+
+    ResultStore v5(scratch.dir(), true, 5);
+    v5.store(key, "v5-payload");
+    ASSERT_TRUE(v5.load(key).has_value());
+
+    ResultStore v6(scratch.dir(), true, 6);
+    EXPECT_FALSE(v6.load(key).has_value());
+}
+
+TEST(ResultStore, DisabledStoreNeverHits)
+{
+    ScratchDir scratch("disabled");
+    ResultStore store(scratch.dir(), false);
+    auto key = driver::cpuCharKey("kmeans", core::Scale::Full, 8);
+    store.store(key, "ignored");
+    EXPECT_FALSE(store.load(key).has_value());
+    EXPECT_FALSE(std::filesystem::exists(store.pathFor(key)));
+}
+
+TEST(ResultStore, PublishesAtomicallyWithoutTempDroppings)
+{
+    ScratchDir scratch("atomic");
+    ResultStore store(scratch.dir());
+    auto key = driver::cpuCharKey("srad", core::Scale::Full, 8);
+    store.store(key, "payload");
+    // Exactly the final file, no *.tmp left behind.
+    size_t files = 0;
+    for (const auto &ent :
+         std::filesystem::directory_iterator(scratch.dir())) {
+        ++files;
+        EXPECT_EQ(ent.path(), store.pathFor(key));
+    }
+    EXPECT_EQ(files, 1u);
+}
+
+TEST(ResultStore, ConcurrentWritersStayConsistent)
+{
+    ScratchDir scratch("concurrent");
+    ResultStore store(scratch.dir());
+    auto key = driver::cpuCharKey("lud", core::Scale::Full, 8);
+    Executor ex(4);
+    ex.parallelFor(32, [&](size_t) {
+        store.store(key, "deterministic-payload");
+    });
+    auto back = store.load(key);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, "deterministic-payload");
+}
+
+TEST(ResultStore, CpuCharRoundTrip)
+{
+    core::CpuCharacterization c;
+    c.name = "kmeans";
+    c.suite = core::Suite::Rodinia;
+    c.threads = 8;
+    c.mix.intOps = 10;
+    c.mix.fpOps = 20;
+    c.mix.branches = 5;
+    c.mix.loads = 7;
+    c.mix.stores = 3;
+    c.memEvents = 1234;
+    c.instructionSites = 44;
+    c.instructionBlocks = 11;
+    c.dataPages = 99;
+    c.checksum = 0xdeadbeef;
+    c.cacheSizes = {1024, 2048};
+    c.sweep.resize(2);
+    c.sweep[0].accesses = 100;
+    c.sweep[0].misses = 10;
+    c.sweep[1].accesses = 100;
+    c.sweep[1].misses = 5;
+
+    core::CpuCharacterization back;
+    ASSERT_TRUE(driver::parseCpuChar(driver::serializeCpuChar(c), back));
+    EXPECT_EQ(back.name, c.name);
+    EXPECT_EQ(back.threads, c.threads);
+    EXPECT_EQ(back.checksum, c.checksum);
+    ASSERT_EQ(back.cacheSizes.size(), 2u);
+    EXPECT_EQ(back.cacheSizes[1], 2048u);
+    EXPECT_EQ(back.sweep[1].misses, 5u);
+
+    core::CpuCharacterization bad;
+    EXPECT_FALSE(driver::parseCpuChar("garbage", bad));
+    EXPECT_FALSE(driver::parseCpuChar("", bad));
+    // Truncated payload (as a crash mid-write would have produced
+    // without atomic publication) must be rejected, not half-read.
+    auto full = driver::serializeCpuChar(c);
+    EXPECT_FALSE(
+        driver::parseCpuChar(full.substr(0, full.size() / 2), bad));
+}
+
+// ---------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------
+
+TEST(Context, MemoizesAndCachesCharacterizations)
+{
+    ScratchDir scratch("ctx");
+    ResultStore store(scratch.dir());
+    std::string firstBytes;
+    {
+        driver::Context ctx(&store);
+        const auto &first =
+            ctx.cpu("kmeans", core::Scale::Tiny, 2);
+        const auto &second =
+            ctx.cpu("kmeans", core::Scale::Tiny, 2);
+        EXPECT_EQ(&first, &second); // memoized, not recomputed
+        EXPECT_EQ(first.name, "kmeans");
+        EXPECT_EQ(first.threads, 2);
+        firstBytes = driver::serializeCpuChar(first);
+    }
+    EXPECT_EQ(store.hits(), 0u);
+
+    // A fresh context on the same store deserializes instead of
+    // recomputing, and reproduces the computed characterization
+    // byte for byte. (This round trip through the store is what
+    // makes every consumer in a run see identical numbers.)
+    driver::Context ctx2(&store);
+    const auto &reloaded = ctx2.cpu("kmeans", core::Scale::Tiny, 2);
+    EXPECT_EQ(store.hits(), 1u);
+    EXPECT_EQ(driver::serializeCpuChar(reloaded), firstBytes);
+}
+
+TEST(Context, FigureRegistryIsComplete)
+{
+    // 17 figures: tables I+III, figs 1-12, PB, two ablations.
+    EXPECT_EQ(driver::allFigures().size(), 17u);
+    EXPECT_NE(driver::findFigure("fig4"), nullptr);
+    EXPECT_NE(driver::findFigure("pb"), nullptr);
+    EXPECT_EQ(driver::findFigure("nope"), nullptr);
+    for (const auto &def : driver::allFigures()) {
+        EXPECT_FALSE(def.id.empty());
+        EXPECT_FALSE(def.title.empty());
+        EXPECT_NE(def.build, nullptr);
+    }
+}
+
+TEST(Context, FigureOrderIsThreadSafeUnderConcurrentFirstUse)
+{
+    Executor ex(4);
+    std::atomic<size_t> sum{0};
+    ex.parallelFor(64, [&](size_t) {
+        sum.fetch_add(driver::figureOrder().size());
+    });
+    EXPECT_EQ(sum.load(), 64u * 12u);
+}
+
+TEST(Context, ParallelFigureMatchesSerialFigure)
+{
+    // The smallest GPU figure: ablation_coalesce records three
+    // Small-scale kernels. Serial context vs pooled context must
+    // render identical bytes.
+    const auto *def = driver::findFigure("ablation_coalesce");
+    ASSERT_NE(def, nullptr);
+
+    driver::Context serial;
+    std::string serialText = def->build(serial);
+
+    Executor ex(4);
+    driver::Context pooled(nullptr, &ex);
+    std::string pooledText = def->build(pooled);
+
+    EXPECT_FALSE(serialText.empty());
+    EXPECT_EQ(serialText, pooledText);
+}

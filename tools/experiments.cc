@@ -1,0 +1,284 @@
+/**
+ * @file
+ * `experiments` — run the paper's figures as one parallel job graph.
+ *
+ * Where each bench binary reproduces a single figure serially, this
+ * CLI builds a driver::JobGraph over every requested figure: one job
+ * per CPU characterization (shared by Figs. 6-12), one per GPU
+ * launch recording (shared by Figs. 1-5 / Table III / PB), and one
+ * per figure assembly, wired with explicit dependencies and executed
+ * on the work-stealing pool. Figure text is byte-identical to the
+ * per-binary serial runs because both paths call the same
+ * driver::FigureDef builders with deterministic slot-ordered
+ * assembly.
+ *
+ * Usage:
+ *   experiments [--figure <id>|all] [--jobs N] [--no-cache]
+ *               [--cache-dir DIR] [--quiet] [--no-summary] [--list]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/context.hh"
+#include "driver/executor.hh"
+#include "driver/figures.hh"
+#include "driver/job.hh"
+#include "driver/result_store.hh"
+#include "support/progress.hh"
+#include "support/table.hh"
+
+using namespace rodinia;
+
+namespace {
+
+struct Options
+{
+    std::vector<std::string> figures; //!< empty = all
+    int jobs = 0;                     //!< 0 = hardware concurrency
+    bool cache = true;
+    // --cache-dir overrides; RODINIA_CACHE_DIR matches the bench
+    // binaries' override so both share one store by default.
+    std::string cacheDir = [] {
+        const char *dir = std::getenv("RODINIA_CACHE_DIR");
+        return std::string(dir && *dir ? dir : "bench_cache");
+    }();
+    bool quiet = false;
+    bool summary = true;
+    bool list = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --figure ID    figure to run (repeatable; comma lists ok;\n"
+        "                 'all' or omitted = every figure; see --list)\n"
+        "  --jobs N       worker threads (default: hardware threads)\n"
+        "  --no-cache     bypass the on-disk result store\n"
+        "  --cache-dir D  result store directory (default bench_cache)\n"
+        "  --quiet        suppress per-job progress on stderr\n"
+        "  --no-summary   suppress the job accounting table\n"
+        "  --list         print figure ids and exit\n",
+        argv0);
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s needs a value\n", argv[i]);
+            return nullptr;
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--figure")) {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            std::stringstream ss(v);
+            std::string id;
+            while (std::getline(ss, id, ','))
+                if (!id.empty())
+                    opt.figures.push_back(id);
+        } else if (!std::strcmp(arg, "--jobs")) {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            opt.jobs = std::atoi(v);
+            if (opt.jobs < 1) {
+                std::fprintf(stderr, "--jobs must be >= 1\n");
+                return false;
+            }
+        } else if (!std::strcmp(arg, "--no-cache")) {
+            opt.cache = false;
+        } else if (!std::strcmp(arg, "--cache-dir")) {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            opt.cacheDir = v;
+        } else if (!std::strcmp(arg, "--quiet")) {
+            opt.quiet = true;
+        } else if (!std::strcmp(arg, "--no-summary")) {
+            opt.summary = false;
+        } else if (!std::strcmp(arg, "--list")) {
+            opt.list = true;
+        } else if (!std::strcmp(arg, "--help") ||
+                   !std::strcmp(arg, "-h")) {
+            usage(argv[0]);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg);
+            usage(argv[0]);
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<const driver::FigureDef *>
+selectFigures(const Options &opt, bool &ok)
+{
+    std::vector<const driver::FigureDef *> out;
+    ok = true;
+    bool all = opt.figures.empty();
+    for (const auto &id : opt.figures) {
+        if (id == "all") {
+            all = true;
+        } else if (!driver::findFigure(id)) {
+            std::fprintf(stderr,
+                         "unknown figure '%s' (try --list)\n",
+                         id.c_str());
+            ok = false;
+            return out;
+        }
+    }
+    if (all) {
+        for (const auto &def : driver::allFigures())
+            out.push_back(&def);
+        return out;
+    }
+    // Keep the user's requested order, dropping duplicates.
+    for (const auto &id : opt.figures) {
+        const auto *def = driver::findFigure(id);
+        bool seen = false;
+        for (const auto *d : out)
+            seen = seen || d == def;
+        if (!seen)
+            out.push_back(def);
+    }
+    return out;
+}
+
+std::string
+gpuJobName(const driver::GpuDep &dep)
+{
+    std::ostringstream os;
+    os << "gpu:" << dep.workload << "/s" << int(dep.scale) << "/v"
+       << dep.version;
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return 2;
+
+    if (opt.list) {
+        for (const auto &def : driver::allFigures())
+            std::printf("%-18s %s\n", def.id.c_str(),
+                        def.title.c_str());
+        return 0;
+    }
+
+    bool ok = false;
+    auto figures = selectFigures(opt, ok);
+    if (!ok)
+        return 2;
+
+    core::registerAllWorkloads();
+
+    driver::ResultStore store(opt.cacheDir, opt.cache);
+    driver::Executor executor(opt.jobs);
+    driver::Context ctx(&store, &executor);
+
+    driver::JobGraph graph;
+
+    // Shared input jobs: one per CPU characterization, one per GPU
+    // launch recording, deduplicated across figures.
+    bool needsAllCpu = false;
+    for (const auto *def : figures)
+        needsAllCpu = needsAllCpu || def->needsAllCpu;
+
+    std::vector<size_t> cpuJobs;
+    if (needsAllCpu) {
+        for (const auto &name : driver::allCpuWorkloads()) {
+            cpuJobs.push_back(graph.add("cpu:" + name, [&ctx, name] {
+                ctx.cpu(name, core::Scale::Full);
+            }));
+        }
+    }
+
+    std::vector<std::pair<std::string, size_t>> gpuJobs;
+    auto gpuJobFor = [&](const driver::GpuDep &dep) {
+        std::string jobName = gpuJobName(dep);
+        for (const auto &[name, id] : gpuJobs)
+            if (name == jobName)
+                return id;
+        size_t id = graph.add(jobName, [&ctx, dep] {
+            ctx.gpu(dep.workload, dep.scale, dep.version);
+        });
+        gpuJobs.emplace_back(jobName, id);
+        return id;
+    };
+
+    std::vector<std::string> outputs(figures.size());
+    for (size_t i = 0; i < figures.size(); ++i) {
+        const auto *def = figures[i];
+        std::vector<size_t> deps;
+        if (def->needsAllCpu)
+            deps = cpuJobs;
+        for (const auto &dep : def->gpuDeps)
+            deps.push_back(gpuJobFor(dep));
+        graph.add("figure:" + def->id,
+                  [&ctx, &outputs, i, def] {
+                      outputs[i] = def->build(ctx);
+                  },
+                  std::move(deps));
+    }
+
+    support::StreamProgressReporter progress(graph.size(), stderr,
+                                             !opt.quiet);
+    auto t0 = std::chrono::steady_clock::now();
+    bool allOk = executor.run(graph, &progress);
+    double wallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+
+    // Figure text in requested order, independent of execution
+    // schedule.
+    for (size_t i = 0; i < figures.size(); ++i) {
+        std::printf("===== %s =====\n\n", figures[i]->title.c_str());
+        std::fputs(outputs[i].c_str(), stdout);
+        std::fputs("\n", stdout);
+    }
+
+    if (opt.summary) {
+        Table t("Job accounting");
+        t.setHeader({"Job", "Status", "Wall (ms)"});
+        for (const auto &job : graph.jobs())
+            t.addRow({job.name, driver::jobStatusName(job.status),
+                      Table::fmt(job.wallMs, 1)});
+        std::fputs(t.render().c_str(), stdout);
+        std::printf("\n%zu jobs on %d threads: %.1f ms wall, "
+                    "%.1f ms of work, store: %llu hits / %llu misses\n",
+                    graph.size(), executor.threadCount(), wallMs,
+                    graph.totalWorkMs(),
+                    (unsigned long long)store.hits(),
+                    (unsigned long long)store.misses());
+    }
+
+    if (!allOk) {
+        for (const auto &job : graph.jobs()) {
+            if (job.status == driver::JobStatus::Failed)
+                std::fprintf(stderr, "FAILED: %s: %s\n",
+                             job.name.c_str(), job.error.c_str());
+        }
+        return 1;
+    }
+    return 0;
+}
