@@ -1,5 +1,6 @@
 #include "cachesim/cache.hh"
 
+#include "cachesim/sweep.hh"
 #include "support/logging.hh"
 #include "trace/trace.hh"
 
@@ -20,15 +21,47 @@ popcount64(uint64_t v)
     return __builtin_popcountll(v);
 }
 
+int
+log2u64(uint64_t v)
+{
+    return 63 - __builtin_clzll(v);
+}
+
 } // namespace
+
+void
+CacheConfig::validate() const
+{
+    if (assoc <= 0 || lineBytes <= 0)
+        fatal("CacheConfig: assoc (", assoc, ") and line size (",
+              lineBytes, ") must be positive");
+    if (!isPow2(uint64_t(lineBytes)))
+        fatal("CacheConfig: line size ", lineBytes,
+              " B must be a power of two");
+    uint64_t set_bytes = uint64_t(assoc) * uint64_t(lineBytes);
+    if (sizeBytes == 0 || sizeBytes % set_bytes != 0)
+        fatal("CacheConfig: size ", sizeBytes,
+              " B is not a positive multiple of assoc * line = ",
+              set_bytes, " B (the set count would truncate)");
+    if (!isPow2(sizeBytes / set_bytes))
+        fatal("CacheConfig: ", sizeBytes / set_bytes,
+              " sets; the set count must be a power of two for the "
+              "masked index mapping");
+}
+
+uint64_t
+CacheConfig::numSets() const
+{
+    validate();
+    return sizeBytes / (uint64_t(assoc) * lineBytes);
+}
 
 SharedCache::SharedCache(const CacheConfig &config) : cfg(config)
 {
-    if (!isPow2(cfg.sizeBytes) || !isPow2(uint64_t(cfg.lineBytes)))
-        fatal("SharedCache: size and line size must be powers of two");
-    if (cfg.sizeBytes < uint64_t(cfg.assoc) * cfg.lineBytes)
-        fatal("SharedCache: cache smaller than one set");
-    lines.resize(cfg.numSets() * cfg.assoc);
+    cfg.validate();
+    nSets = cfg.numSets();
+    setShift = log2u64(nSets);
+    lines.resize(nSets * cfg.assoc);
 }
 
 void
@@ -54,10 +87,9 @@ SharedCache::accessLine(int tid, uint64_t line_addr, bool is_write)
     // same set simultaneously — a synthetic conflict artifact the
     // paper's odd-sized inputs (34 features, 609x590 frames) never
     // hit.
-    uint64_t num_sets = cfg.numSets();
-    uint64_t set = (line_addr ^ (line_addr / num_sets) * 0x9e3779b9) &
-                   (num_sets - 1);
-    uint64_t tag = line_addr / num_sets;
+    uint64_t set = (line_addr ^ (line_addr >> setShift) * 0x9e3779b9) &
+                   (nSets - 1);
+    uint64_t tag = line_addr >> setShift;
     Line *base = &lines[set * cfg.assoc];
 
     uint64_t tid_bit = 1ULL << (tid & 63);
@@ -66,6 +98,16 @@ SharedCache::accessLine(int tid, uint64_t line_addr, bool is_write)
     for (int w = 0; w < cfg.assoc; ++w) {
         Line &l = base[w];
         if (l.valid && l.tag == tag) {
+            // LRU stack distance: how many set-mates were used more
+            // recently. Valid lines carry distinct lastUse stamps,
+            // so this is the line's depth in the recency stack.
+            int depth = 0;
+            for (int v = 0; v < cfg.assoc; ++v)
+                if (base[v].valid && base[v].lastUse > l.lastUse)
+                    ++depth;
+            if (depth >= CacheStats::kDepthBuckets)
+                depth = CacheStats::kDepthBuckets - 1;
+            ++counters.hitDepth[size_t(depth)];
             l.lastUse = useClock;
             bool was_shared = popcount64(l.threadMask) > 1;
             l.threadMask |= tid_bit;
@@ -124,26 +166,11 @@ sweepCacheSizes(const trace::TraceSession &session,
                 const std::vector<uint64_t> &sizes_bytes, int assoc,
                 int line_bytes)
 {
-    std::vector<SharedCache> caches;
-    caches.reserve(sizes_bytes.size());
-    for (uint64_t size : sizes_bytes) {
-        CacheConfig cfg;
-        cfg.sizeBytes = size;
-        cfg.assoc = assoc;
-        cfg.lineBytes = line_bytes;
-        caches.emplace_back(cfg);
-    }
-
-    session.forEachInterleaved([&](int tid, const trace::MemEvent &e) {
-        for (auto &cache : caches)
-            cache.access(tid, e.addr, e.size, e.isWrite != 0);
-    });
-
-    std::vector<CacheStats> out;
-    out.reserve(caches.size());
-    for (auto &cache : caches)
-        out.push_back(cache.finish());
-    return out;
+    SweepConfig cfg;
+    cfg.sizesBytes = sizes_bytes;
+    cfg.assoc = assoc;
+    cfg.lineBytes = line_bytes;
+    return runSweep(session, cfg).stats;
 }
 
 std::vector<uint64_t>

@@ -14,6 +14,8 @@
 #ifndef RODINIA_CACHESIM_CACHE_HH
 #define RODINIA_CACHESIM_CACHE_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -31,15 +33,31 @@ struct CacheConfig
     int assoc = 4;
     int lineBytes = 64;
 
-    uint64_t numSets() const
-    {
-        return sizeBytes / (uint64_t(assoc) * lineBytes);
-    }
+    /**
+     * Check the geometry and fail fast with a clear message instead
+     * of silently truncating: sizeBytes must be a positive multiple
+     * of assoc * lineBytes, and the set count (like the line size)
+     * must be a power of two for the masked index mapping.
+     */
+    void validate() const;
+
+    /** Number of sets. Fatal if the geometry is invalid. */
+    uint64_t numSets() const;
 };
 
 /** Counters accumulated while replaying a trace through the cache. */
 struct CacheStats
 {
+    /**
+     * LRU stack-distance histogram buckets: hitDepth[d] counts hits
+     * whose line sat at depth d (0 = MRU) of its set's recency
+     * stack. Depths beyond the last bucket clamp into it. Misses
+     * are the accesses in no bucket, so the miss count at a reduced
+     * associativity a <= assoc is `accesses - sum(hitDepth[0..a-1])`
+     * (Mattson: one replay measures every smaller associativity).
+     */
+    static constexpr int kDepthBuckets = 8;
+
     uint64_t accesses = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
@@ -53,10 +71,35 @@ struct CacheStats
     /** Write accesses to shared residencies (communication proxy). */
     uint64_t writesToShared = 0;
 
+    /** Hits per LRU stack depth (see kDepthBuckets). */
+    std::array<uint64_t, kDepthBuckets> hitDepth{};
+
     double
     missRate() const
     {
         return accesses ? double(misses) / double(accesses) : 0.0;
+    }
+
+    /** Misses this trace would take at associativity `a` (<= assoc). */
+    uint64_t
+    missesAtAssoc(int a) const
+    {
+        uint64_t hits = 0;
+        for (int d = 0; d < a && d < kDepthBuckets; ++d)
+            hits += hitDepth[size_t(d)];
+        return accesses - hits;
+    }
+
+    bool
+    operator==(const CacheStats &o) const
+    {
+        return accesses == o.accesses && misses == o.misses &&
+               evictions == o.evictions &&
+               residencies == o.residencies &&
+               sharedResidencies == o.sharedResidencies &&
+               accessesToShared == o.accessesToShared &&
+               writesToShared == o.writesToShared &&
+               hitDepth == o.hitDepth;
     }
     double
     sharedLineFraction() const
@@ -109,13 +152,17 @@ class SharedCache
     CacheConfig cfg;
     CacheStats counters;
     std::vector<Line> lines;   //!< numSets * assoc, set-major
+    uint64_t nSets = 0;        //!< cached cfg.numSets()
+    int setShift = 0;          //!< log2(nSets)
     uint64_t useClock = 0;
     bool finished = false;
 };
 
 /**
- * Replay the session's interleaved memory trace through one cache of
- * each given size simultaneously and return the per-size statistics.
+ * Replay the session's interleaved memory trace once and return the
+ * per-size statistics for every given size. Implemented on the
+ * single-pass stack-distance engine (see sweep.hh); byte-identical
+ * to replaying a SharedCache per size.
  */
 std::vector<CacheStats> sweepCacheSizes(
     const trace::TraceSession &session,

@@ -1,5 +1,6 @@
 #include "core/characterize.hh"
 
+#include "support/alloc_align.hh"
 #include "support/logging.hh"
 
 namespace rodinia {
@@ -98,7 +99,13 @@ characterizeCpu(Workload &workload, Scale scale, int threads)
     out.threads = threads;
 
     trace::TraceSession session(threads, true);
-    workload.runCpu(session, scale);
+    {
+        // Pin every workload allocation's line/page phase so the
+        // traced addresses group (straddle lines, share pages) the
+        // same way in every process; see support/alloc_align.hh.
+        support::DeterministicAllocScope alignScope;
+        workload.runCpu(session, scale);
+    }
     // Canonical page layout: metrics must not depend on where the
     // heap landed this run (ASLR), only on what the workload did.
     session.normalizeAddresses();
@@ -111,7 +118,12 @@ characterizeCpu(Workload &workload, Scale scale, int threads)
     out.checksum = workload.checksum();
 
     out.cacheSizes = cachesim::paperCacheSizes();
-    out.sweep = cachesim::sweepCacheSizes(session, out.cacheSizes);
+    cachesim::SweepConfig sweep_cfg;
+    sweep_cfg.sizesBytes = out.cacheSizes;
+    cachesim::SweepResult swept = cachesim::runSweep(session, sweep_cfg);
+    out.sweep = std::move(swept.stats);
+    out.sweepLineAccesses = swept.lineAccesses;
+    out.sweepReplaySeconds = swept.replaySeconds;
     return out;
 }
 

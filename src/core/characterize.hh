@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cachesim/cache.hh"
+#include "cachesim/sweep.hh"
 #include "core/workload.hh"
 #include "gpusim/replay.hh"
 #include "gpusim/timing.hh"
@@ -43,6 +44,15 @@ struct CpuCharacterization
     uint64_t instructionBlocks = 0;
     uint64_t dataPages = 0;
     uint64_t checksum = 0;
+
+    /**
+     * Replay telemetry from the single-pass cache sweep: line
+     * accesses simulated and the wall clock they took. Observability
+     * only — zero when a characterization was loaded from the result
+     * store rather than recomputed.
+     */
+    uint64_t sweepLineAccesses = 0;
+    double sweepReplaySeconds = 0.0;
 
     /** Instruction-mix features: {int, fp, branch, load, store}. */
     std::vector<double> instrMixFeatures() const;

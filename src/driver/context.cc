@@ -81,12 +81,20 @@ Context::cpu(const std::string &name, core::Scale scale, int threads)
             if (auto payload = store->load(key)) {
                 if (parseCpuChar(*payload, entry->value))
                     return;
+                // Unusable entry: drop it so the recompute below
+                // republishes a good one instead of every future run
+                // re-hitting the corrupt bytes.
+                store->discard(key);
             }
         }
         auto w = core::Registry::instance().create(name);
         entry->value = core::characterizeCpu(*w, scale, threads);
         if (store)
             store->store(key, serializeCpuChar(entry->value));
+        std::lock_guard<std::mutex> lock(mu);
+        sweepTelemetry.push_back({keyName.str(),
+                                  entry->value.sweepLineAccesses,
+                                  entry->value.sweepReplaySeconds});
     });
     return entry->value;
 }
@@ -121,6 +129,13 @@ Context::gpu(const std::string &name, core::Scale scale, int version)
         entry->value = recordGpuLaunch(name, scale, version);
     });
     return entry->value;
+}
+
+std::vector<Context::SweepTelemetry>
+Context::sweepTelemetrySnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return sweepTelemetry;
 }
 
 void

@@ -83,6 +83,20 @@ class Context
     Executor *executor() const { return exec; }
     ResultStore *resultStore() const { return store; }
 
+    /** One cache-sweep replay actually performed this process. */
+    struct SweepTelemetry
+    {
+        std::string key;           //!< "name/s<scale>/t<threads>"
+        uint64_t lineAccesses = 0;
+        double replaySeconds = 0.0;
+    };
+
+    /**
+     * Telemetry for every characterization computed (not loaded from
+     * the store) so far, in completion order. Snapshot, thread-safe.
+     */
+    std::vector<SweepTelemetry> sweepTelemetrySnapshot() const;
+
   private:
     template <typename V> struct Entry
     {
@@ -93,11 +107,12 @@ class Context
     ResultStore *store;
     Executor *exec;
 
-    std::mutex mu;
+    mutable std::mutex mu;
     std::map<std::string, std::unique_ptr<Entry<core::CpuCharacterization>>>
         cpuEntries;
     std::map<std::string, std::unique_ptr<Entry<gpusim::LaunchSequence>>>
         gpuEntries;
+    std::vector<SweepTelemetry> sweepTelemetry;
 };
 
 } // namespace driver

@@ -38,6 +38,33 @@ struct Executor::Impl
     bool tryRunOne(int self);
     void workerLoop(int id);
 
+    /**
+     * Shared state of one run(). Owned by shared_ptr: every pool
+     * task holds a reference, so a worker finishing the final job
+     * can never observe destroyed state even though run() may have
+     * already returned on the waiting thread.
+     */
+    struct RunCtx
+    {
+        JobGraph *graph = nullptr;
+        support::ProgressReporter *progress = nullptr;
+        Impl *impl = nullptr;
+        size_t total = 0;
+
+        std::mutex mu;
+        std::condition_variable cv;
+        size_t finished = 0;
+        std::vector<int> remaining;
+        std::vector<char> depFailed;
+        std::vector<std::vector<size_t>> dependents;
+    };
+
+    static void executeJob(const std::shared_ptr<RunCtx> &ctx,
+                           size_t id);
+    static void completeJob(const std::shared_ptr<RunCtx> &ctx,
+                            size_t id, JobStatus status, double wallMs,
+                            const std::string &error);
+
     // Which executor (if any) owns the current thread. Lets submit()
     // push to the worker's own queue, and keeps queue indices
     // straight when several executors coexist (tests).
@@ -155,6 +182,85 @@ Executor::threadCount() const
     return int(impl->queues.size());
 }
 
+// completeJob() records a job's outcome, releases dependents, and
+// (for failure) cascades Skipped through the downstream graph.
+void
+Executor::Impl::completeJob(const std::shared_ptr<RunCtx> &ctx,
+                            size_t id, JobStatus status, double wallMs,
+                            const std::string &error)
+{
+    std::vector<size_t> ready;
+    std::vector<size_t> skips;
+    bool lastJob = false;
+    {
+        std::lock_guard<std::mutex> lock(ctx->mu);
+        Job &j = ctx->graph->job(id);
+        j.status = status;
+        j.wallMs = wallMs;
+        j.error = error;
+        for (size_t dep : ctx->dependents[id]) {
+            if (status != JobStatus::Done)
+                ctx->depFailed[dep] = 1;
+            if (--ctx->remaining[dep] == 0) {
+                if (ctx->depFailed[dep])
+                    skips.push_back(dep);
+                else
+                    ready.push_back(dep);
+            }
+        }
+        ++ctx->finished;
+        lastJob = ctx->finished == ctx->total;
+    }
+    if (ctx->progress) {
+        if (status == JobStatus::Done)
+            ctx->progress->jobFinished(ctx->graph->job(id).name,
+                                       wallMs);
+        else
+            ctx->progress->jobFailed(ctx->graph->job(id).name, error,
+                                     status == JobStatus::Skipped);
+    }
+    for (size_t skip : skips)
+        completeJob(ctx, skip, JobStatus::Skipped, 0.0, "");
+    for (size_t r : ready)
+        ctx->impl->submit([ctx, r] { executeJob(ctx, r); });
+    if (lastJob) {
+        // Notify under the lock so the waiter in run() cannot wake,
+        // observe finished == total, and return between our predicate
+        // store and the notify. The shared_ptr keeps RunCtx alive for
+        // this frame even after run() returns.
+        std::lock_guard<std::mutex> lock(ctx->mu);
+        ctx->cv.notify_all();
+    }
+}
+
+// executeJob() is the task body run on pool threads.
+void
+Executor::Impl::executeJob(const std::shared_ptr<RunCtx> &ctx, size_t id)
+{
+    {
+        std::lock_guard<std::mutex> lock(ctx->mu);
+        ctx->graph->job(id).status = JobStatus::Running;
+    }
+    if (ctx->progress)
+        ctx->progress->jobStarted(ctx->graph->job(id).name);
+    auto t0 = std::chrono::steady_clock::now();
+    JobStatus status = JobStatus::Done;
+    std::string error;
+    try {
+        ctx->graph->job(id).work();
+    } catch (const std::exception &e) {
+        status = JobStatus::Failed;
+        error = e.what();
+    } catch (...) {
+        status = JobStatus::Failed;
+        error = "unknown exception";
+    }
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    completeJob(ctx, id, status, ms, error);
+}
+
 bool
 Executor::run(JobGraph &graph, support::ProgressReporter *progress)
 {
@@ -162,106 +268,38 @@ Executor::run(JobGraph &graph, support::ProgressReporter *progress)
     if (total == 0)
         return true;
 
-    struct RunState
-    {
-        std::mutex mu;
-        std::condition_variable cv;
-        size_t finished = 0;
-        std::vector<int> remaining;
-        std::vector<char> depFailed;
-        std::vector<std::vector<size_t>> dependents;
-    };
-    RunState st;
-    st.remaining.resize(total);
-    st.depFailed.assign(total, 0);
-    st.dependents.resize(total);
+    auto ctx = std::make_shared<Impl::RunCtx>();
+    ctx->graph = &graph;
+    ctx->progress = progress;
+    ctx->impl = impl.get();
+    ctx->total = total;
+    ctx->remaining.resize(total);
+    ctx->depFailed.assign(total, 0);
+    ctx->dependents.resize(total);
+
+    // Roots are read off the immutable graph structure before any
+    // submission. The previous version seeded by scanning the mutable
+    // remaining[] counters while already-submitted roots could be
+    // completing concurrently and releasing dependents — a dependent
+    // whose counter hit zero mid-scan was submitted twice, finished
+    // over-counted, and run() returned while workers still executed
+    // (then-destroyed) stack state.
+    std::vector<size_t> roots;
     for (size_t i = 0; i < total; ++i) {
-        st.remaining[i] = int(graph.job(i).deps.size());
+        ctx->remaining[i] = int(graph.job(i).deps.size());
         for (size_t dep : graph.job(i).deps)
-            st.dependents[dep].push_back(i);
+            ctx->dependents[dep].push_back(i);
+        if (graph.job(i).deps.empty())
+            roots.push_back(i);
     }
 
-    // complete() records a job's outcome, releases dependents, and
-    // (for failure) cascades Skipped through the downstream graph.
-    // executeJob() is the task body run on pool threads.
-    std::function<void(size_t, JobStatus, double, const std::string &)>
-        complete;
-    std::function<void(size_t)> executeJob;
-
-    complete = [&](size_t id, JobStatus status, double wallMs,
-                   const std::string &error) {
-        std::vector<size_t> ready;
-        std::vector<size_t> skips;
-        bool lastJob = false;
-        {
-            std::lock_guard<std::mutex> lock(st.mu);
-            Job &j = graph.job(id);
-            j.status = status;
-            j.wallMs = wallMs;
-            j.error = error;
-            for (size_t dep : st.dependents[id]) {
-                if (status != JobStatus::Done)
-                    st.depFailed[dep] = 1;
-                if (--st.remaining[dep] == 0) {
-                    if (st.depFailed[dep])
-                        skips.push_back(dep);
-                    else
-                        ready.push_back(dep);
-                }
-            }
-            ++st.finished;
-            lastJob = st.finished == total;
-        }
-        if (progress) {
-            if (status == JobStatus::Done)
-                progress->jobFinished(graph.job(id).name, wallMs);
-            else
-                progress->jobFailed(graph.job(id).name, error,
-                                    status == JobStatus::Skipped);
-        }
-        for (size_t skip : skips)
-            complete(skip, JobStatus::Skipped, 0.0, "");
-        for (size_t r : ready)
-            impl->submit([&executeJob, r] { executeJob(r); });
-        if (lastJob) {
-            std::lock_guard<std::mutex> lock(st.mu);
-            st.cv.notify_all();
-        }
-    };
-
-    executeJob = [&](size_t id) {
-        {
-            std::lock_guard<std::mutex> lock(st.mu);
-            graph.job(id).status = JobStatus::Running;
-        }
-        if (progress)
-            progress->jobStarted(graph.job(id).name);
-        auto t0 = std::chrono::steady_clock::now();
-        JobStatus status = JobStatus::Done;
-        std::string error;
-        try {
-            graph.job(id).work();
-        } catch (const std::exception &e) {
-            status = JobStatus::Failed;
-            error = e.what();
-        } catch (...) {
-            status = JobStatus::Failed;
-            error = "unknown exception";
-        }
-        double ms = std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
-        complete(id, status, ms, error);
-    };
-
-    for (size_t i = 0; i < total; ++i) {
-        if (st.remaining[i] == 0)
-            impl->submit([&executeJob, i] { executeJob(i); });
-    }
+    for (size_t r : roots)
+        impl->submit([ctx, r] { Impl::executeJob(ctx, r); });
 
     {
-        std::unique_lock<std::mutex> lock(st.mu);
-        st.cv.wait(lock, [&] { return st.finished == total; });
+        std::unique_lock<std::mutex> lock(ctx->mu);
+        ctx->cv.wait(lock,
+                     [&] { return ctx->finished == ctx->total; });
     }
     return graph.allDone();
 }

@@ -1,5 +1,8 @@
 #include "driver/result_store.hh"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -66,17 +69,59 @@ ResultStore::load(const Key &key) const
     return buf.str();
 }
 
-void
+namespace {
+
+/** write(2) the whole buffer, then fsync. False on any failure. */
+bool
+writeAllDurably(const std::filesystem::path &path,
+                const std::string &payload)
+{
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return false;
+    const char *p = payload.data();
+    size_t left = payload.size();
+    while (left > 0) {
+        ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            return false;
+        }
+        p += n;
+        left -= size_t(n);
+    }
+    bool ok = ::fsync(fd) == 0;
+    return (::close(fd) == 0) && ok;
+}
+
+/** fsync a directory so a rename inside it survives a crash. */
+bool
+syncDirectory(const std::filesystem::path &dir)
+{
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return false;
+    bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+} // namespace
+
+bool
 ResultStore::store(const Key &key, const std::string &payload) const
 {
     if (!on)
-        return;
+        return true; // disabled stores have nothing to publish
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     if (ec) {
         warn("ResultStore: cannot create ", dir.string(), ": ",
              ec.message());
-        return;
+        nPublishFailures.fetch_add(1);
+        return false;
     }
     std::filesystem::path dest = pathFor(key);
     // Unique temp name per writer so concurrent stores of the same
@@ -85,21 +130,36 @@ ResultStore::store(const Key &key, const std::string &payload) const
     tmpName << dest.filename().string() << ".tmp."
             << std::hash<std::thread::id>{}(std::this_thread::get_id());
     std::filesystem::path tmp = dir / tmpName.str();
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        out << payload;
-        if (!out.good()) {
-            warn("ResultStore: short write to ", tmp.string());
-            std::filesystem::remove(tmp, ec);
-            return;
-        }
+    if (!writeAllDurably(tmp, payload)) {
+        warn("ResultStore: cannot write ", tmp.string());
+        std::filesystem::remove(tmp, ec);
+        nPublishFailures.fetch_add(1);
+        return false;
     }
     std::filesystem::rename(tmp, dest, ec);
     if (ec) {
         warn("ResultStore: rename ", tmp.string(), " -> ",
              dest.string(), ": ", ec.message());
         std::filesystem::remove(tmp, ec);
+        nPublishFailures.fetch_add(1);
+        return false;
     }
+    if (!syncDirectory(dir))
+        warn("ResultStore: cannot fsync ", dir.string());
+    return true;
+}
+
+void
+ResultStore::discard(const Key &key) const
+{
+    if (!on)
+        return;
+    std::error_code ec;
+    std::filesystem::remove(pathFor(key), ec);
+    // The load that surfaced the bad payload was counted as a hit;
+    // the caller is about to recompute, so reclassify it.
+    nHits.fetch_sub(1);
+    nMisses.fetch_add(1);
 }
 
 ResultStore::Key
@@ -131,7 +191,10 @@ serializeCpuChar(const core::CpuCharacterization &c)
         outf << c.cacheSizes[i] << " " << s.accesses << " " << s.misses
              << " " << s.evictions << " " << s.residencies << " "
              << s.sharedResidencies << " " << s.accessesToShared << " "
-             << s.writesToShared << "\n";
+             << s.writesToShared;
+        for (uint64_t d : s.hitDepth)
+            outf << " " << d;
+        outf << "\n";
     }
     return outf.str();
 }
@@ -162,6 +225,8 @@ parseCpuChar(const std::string &payload, core::CpuCharacterization &out)
         in >> out.cacheSizes[i] >> s.accesses >> s.misses >>
             s.evictions >> s.residencies >> s.sharedResidencies >>
             s.accessesToShared >> s.writesToShared;
+        for (auto &d : s.hitDepth)
+            in >> d;
     }
     return bool(in);
 }

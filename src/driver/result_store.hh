@@ -11,11 +11,14 @@
  * returning them.
  *
  * Writes are crash-safe and safe under concurrent writers: the
- * payload goes to a unique temporary in the same directory and is
- * then published with an atomic std::filesystem::rename. A killed
- * process can leave a *.tmp droppings file but never a truncated
- * entry; concurrent writers of the same key race benignly (results
- * are deterministic, so both wrote identical bytes).
+ * payload goes to a unique temporary in the same directory, is
+ * fsync'd, and is then published with an atomic rename followed by
+ * an fsync of the directory — so a power cut can leave a *.tmp
+ * droppings file but never a truncated or unlinked entry. A publish
+ * that fails at any step is reported to the caller (and counted)
+ * rather than silently warned away; concurrent writers of the same
+ * key race benignly (results are deterministic, so both wrote
+ * identical bytes).
  */
 
 #ifndef RODINIA_DRIVER_RESULT_STORE_HH
@@ -36,7 +39,7 @@ class ResultStore
 {
   public:
     /** Bump to invalidate every previously stored result. */
-    static constexpr int kVersion = 5;
+    static constexpr int kVersion = 6;
 
     /** Everything that determines a stored result's content. */
     struct Key
@@ -67,8 +70,21 @@ class ResultStore
     /** Payload for the key, or nullopt on miss. */
     std::optional<std::string> load(const Key &key) const;
 
-    /** Atomically publish the payload for the key. */
-    void store(const Key &key, const std::string &payload) const;
+    /**
+     * Durably publish the payload for the key: write + fsync a
+     * unique temporary, atomically rename it into place, fsync the
+     * directory. @return false (and count a publish failure) if any
+     * step failed — the entry is then absent, not torn.
+     */
+    bool store(const Key &key, const std::string &payload) const;
+
+    /**
+     * Drop the stored entry for the key, reclassifying the hit that
+     * surfaced it as a miss. Call when a loaded payload turns out to
+     * be unusable (parse failure) so the corrupt entry self-heals on
+     * the recompute instead of poisoning every future run.
+     */
+    void discard(const Key &key) const;
 
     bool enabled() const { return on; }
     const std::filesystem::path &directory() const { return dir; }
@@ -76,6 +92,8 @@ class ResultStore
     /** Cache traffic since construction (for run summaries). */
     uint64_t hits() const { return nHits.load(); }
     uint64_t misses() const { return nMisses.load(); }
+    /** Publishes that failed (write, fsync, or rename). */
+    uint64_t publishFailures() const { return nPublishFailures.load(); }
 
   private:
     std::filesystem::path dir;
@@ -83,6 +101,7 @@ class ResultStore
     int version;
     mutable std::atomic<uint64_t> nHits{0};
     mutable std::atomic<uint64_t> nMisses{0};
+    mutable std::atomic<uint64_t> nPublishFailures{0};
 };
 
 /** Key for a CPU characterization result. */

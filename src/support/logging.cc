@@ -1,7 +1,17 @@
 #include "support/logging.hh"
 
 namespace rodinia {
+
+namespace support {
+extern int allocAlignAnchor;
+}
+
 namespace detail {
+
+// Pulls alloc_align.o (the operator new replacements) out of the
+// static archive into every binary that can report an error — i.e.
+// all of them.
+int *const kAllocAlignAnchor = &support::allocAlignAnchor;
 
 void
 fatalExit(const char *kind, const std::string &msg)

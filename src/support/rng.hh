@@ -56,11 +56,33 @@ class Rng
         return lo + (hi - lo) * uniform();
     }
 
-    /** Uniform integer in [0, n). n must be > 0. */
+    /**
+     * Uniform integer in [0, n). n must be > 0.
+     *
+     * Unbiased bounded draw by masked rejection: draw ceil(log2 n)
+     * bits and retry values >= n (at most ~2 draws expected). A
+     * plain `next() % n` is modulo-biased whenever n does not divide
+     * 2^64 — catastrophically so for n near 2^63, where low values
+     * are twice as likely. Power-of-two n accepts every draw and the
+     * mask equals n - 1, so those call sites keep the exact stream
+     * the modulo version produced.
+     */
     uint64_t
     below(uint64_t n)
     {
-        return next() % n;
+        if (n <= 1)
+            return 0;
+        uint64_t mask = n - 1;
+        mask |= mask >> 1;
+        mask |= mask >> 2;
+        mask |= mask >> 4;
+        mask |= mask >> 8;
+        mask |= mask >> 16;
+        mask |= mask >> 32;
+        uint64_t v = next() & mask;
+        while (v >= n)
+            v = next() & mask;
+        return v;
     }
 
     /** Uniform integer in [lo, hi]. */

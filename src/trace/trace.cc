@@ -1,5 +1,7 @@
 #include "trace/trace.hh"
 
+#include <algorithm>
+#include <array>
 #include <thread>
 #include <unordered_set>
 
@@ -106,56 +108,67 @@ TraceSession::dataFootprintPages() const
 void
 TraceSession::normalizeAddresses()
 {
-    // Assign virtual pages in first-touch order over the same
-    // interleaving the cache simulator replays, so the mapping (and
-    // everything downstream) is deterministic.
-    std::unordered_map<uint64_t, uint64_t> pages;
-    constexpr uint64_t basePage = uint64_t(1) << 20; // 4 GB mark
-    auto vpage = [&](uint64_t page) {
-        auto [it, fresh] = pages.try_emplace(page, 0);
-        if (fresh)
-            it->second = basePage + pages.size() - 1;
-        return it->second;
-    };
-    forEachInterleaved([&](int, const MemEvent &e) {
-        uint64_t first = e.addr >> 12;
-        uint64_t last = (e.addr + e.size - 1) >> 12;
-        if (first == last) {
-            vpage(first);
-            return;
-        }
-        // A straddling access wants contiguous virtual pages; grant
-        // that when both are unmapped (the common first touch).
-        if (!pages.count(first) && !pages.count(last)) {
-            uint64_t v = vpage(first);
-            pages.emplace(last, v + 1);
-        } else {
-            vpage(first);
-            vpage(last);
-        }
-    });
-    for (auto &c : ctxs)
-        for (auto &e : c->memTrace)
-            e.addr = (vpage(e.addr >> 12) << 12) | (e.addr & 0xfff);
-}
-
-void
-TraceSession::forEachInterleaved(
-    const std::function<void(int tid, const MemEvent &)> &fn) const
-{
-    std::vector<size_t> cursor(ctxs.size(), 0);
-    bool any = true;
-    while (any) {
-        any = false;
-        for (size_t t = 0; t < ctxs.size(); ++t) {
-            const auto &ev = ctxs[t]->events();
-            if (cursor[t] < ev.size()) {
-                fn(int(t), ev[cursor[t]]);
-                ++cursor[t];
-                any = true;
+    // Pass 1: split every event at 64 B line boundaries so each
+    // event covers exactly one line. The cache simulators perform
+    // this split per replay anyway; doing it once here makes every
+    // event relocatable independently (a multi-line event could not
+    // be expressed as one contiguous range once its lines are
+    // remapped to non-adjacent canonical slots).
+    for (auto &c : ctxs) {
+        bool needs_split = false;
+        for (const auto &e : c->memTrace)
+            if ((e.addr >> 6) !=
+                ((e.addr + (e.size ? e.size - 1 : 0)) >> 6)) {
+                needs_split = true;
+                break;
+            }
+        if (!needs_split)
+            continue;
+        std::vector<MemEvent> split;
+        split.reserve(c->memTrace.size());
+        for (const auto &e : c->memTrace) {
+            uint64_t end = e.addr + (e.size ? e.size : 1);
+            for (uint64_t a = e.addr; a < end;) {
+                uint64_t line_end = (a | 63) + 1;
+                uint64_t piece = std::min(end, line_end) - a;
+                split.push_back({a, uint16_t(piece), e.isWrite});
+                a += piece;
             }
         }
+        c->memTrace = std::move(split);
     }
+
+    // Pass 2: assign canonical identities in first-touch order over
+    // the same interleaving the cache simulators replay — pages get
+    // sequential virtual pages, and lines within each page get
+    // sequential slots. First-touch order is a pure function of the
+    // recorded traces, so the canonical layout (and every figure
+    // derived from it) is identical in any process.
+    struct PageMap
+    {
+        uint64_t vpage;
+        std::array<int8_t, 64> slot;
+        int8_t nextSlot = 0;
+    };
+    std::unordered_map<uint64_t, PageMap> pages;
+    constexpr uint64_t basePage = uint64_t(1) << 20; // 4 GB mark
+    auto canonical = [&](uint64_t addr) {
+        auto [it, fresh] = pages.try_emplace(addr >> 12);
+        PageMap &pm = it->second;
+        if (fresh) {
+            pm.vpage = basePage + pages.size() - 1;
+            pm.slot.fill(-1);
+        }
+        size_t lineIdx = (addr >> 6) & 63;
+        if (pm.slot[lineIdx] < 0)
+            pm.slot[lineIdx] = pm.nextSlot++;
+        return (pm.vpage << 12) | (uint64_t(pm.slot[lineIdx]) << 6);
+    };
+    forEachInterleaved(
+        [&](int, const MemEvent &e) { canonical(e.addr); });
+    for (auto &c : ctxs)
+        for (auto &e : c->memTrace)
+            e.addr = canonical(e.addr);
 }
 
 } // namespace trace

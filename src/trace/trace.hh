@@ -256,20 +256,48 @@ class TraceSession
     /**
      * Visit all recorded memory events in a deterministic
      * round-robin interleaving across threads (models concurrent
-     * execution when replaying into a cache simulator).
+     * execution when replaying into a cache simulator). Templated so
+     * replay loops inline the visitor instead of paying a
+     * std::function dispatch per event.
      */
-    void forEachInterleaved(
-        const std::function<void(int tid, const MemEvent &)> &fn) const;
+    template <typename Fn>
+    void
+    forEachInterleaved(Fn &&fn) const
+    {
+        std::vector<size_t> cursor(ctxs.size(), 0);
+        bool any = true;
+        while (any) {
+            any = false;
+            for (size_t t = 0; t < ctxs.size(); ++t) {
+                const auto &ev = ctxs[t]->events();
+                if (cursor[t] < ev.size()) {
+                    fn(int(t), ev[cursor[t]]);
+                    ++cursor[t];
+                    any = true;
+                }
+            }
+        }
+    }
 
     /**
-     * Relocate every recorded address onto a canonical page layout:
-     * each distinct 4 kB page is assigned a sequential virtual page
-     * on first touch in the deterministic interleaved order, with
-     * page offsets preserved. Line splits, footprints and sharing
-     * are unchanged; cache-set indexing and page identity become
-     * independent of where the heap happened to land (ASLR), so a
-     * characterization is reproducible run to run. Call once, after
-     * run() and before replaying the trace.
+     * Rewrite every recorded address onto a canonical layout so a
+     * characterization is byte-identical across processes by
+     * construction, independent of where the heap happened to land
+     * (ASLR, allocator phase):
+     *
+     *  - events are first split at 64 B line boundaries, so each
+     *    event touches exactly one line (the cache simulators split
+     *    them anyway; pre-splitting makes every event relocatable);
+     *  - each distinct 4 kB page is assigned a sequential virtual
+     *    page on first touch in the deterministic interleaved order;
+     *  - within each page, each distinct 64 B line is assigned a
+     *    sequential slot on first touch in the same order, erasing
+     *    the allocator's intra-page phase.
+     *
+     * Distinct-page and distinct-line counts, sharing, and event
+     * sizes are preserved exactly; byte offsets within a line are
+     * not meaningful afterwards. Call once, after run() and before
+     * replaying the trace.
      */
     void normalizeAddresses();
 

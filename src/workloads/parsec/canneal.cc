@@ -106,17 +106,27 @@ Canneal::runCpu(trace::TraceSession &session, core::Scale scale)
             int after = wireCost(ctx, a) + wireCost(ctx, b);
 
             ctx.branch();
+            // Draw the acceptance variate unconditionally: a
+            // short-circuited draw would advance the RNG stream only
+            // when the (cross-thread, timing-dependent) cost delta is
+            // unfavorable, and every later swap's addresses depend on
+            // the stream position.
+            double u = local.uniform();
             bool accept = after < before ||
-                          local.uniform() <
-                              std::exp((before - after) / temperature);
+                          u < std::exp((before - after) / temperature);
             if (!accept) {
                 std::swap(locX[a], locX[b]);
                 std::swap(locY[a], locY[b]);
-                ctx.store(&locX[a], 4);
-                ctx.store(&locX[b], 4);
-                ctx.store(&locY[a], 4);
-                ctx.store(&locY[b], 4);
             }
+            // Final-placement write-back: the same four stores are
+            // recorded whether the swap committed or reverted, so
+            // the recorded trace is a pure function of the
+            // thread-local RNG stream even though acceptance reads
+            // cross-thread placement values whose timing races.
+            ctx.store(&locX[a], 4);
+            ctx.store(&locX[b], 4);
+            ctx.store(&locY[a], 4);
+            ctx.store(&locY[b], 4);
             temperature *= 0.9995;
         }
     });

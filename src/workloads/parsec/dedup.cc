@@ -1,7 +1,7 @@
 #include "workloads/parsec/parsec.hh"
 
 #include <atomic>
-#include <mutex>
+#include <memory>
 #include <unordered_map>
 
 #include "support/logging.hh"
@@ -67,19 +67,28 @@ Dedup::runCpu(trace::TraceSession &session, core::Scale scale)
             input[i] = uint8_t(rng.below(256));
     }
 
-    BoundedQueue<Chunk> chunkQ(128);
-    BoundedQueue<Chunk> uniqueQ(128);
-    std::unordered_map<uint64_t, int> table;
-    std::mutex tableMtx;
+    const int nt = session.numThreads();
+    if (nt < 3)
+        fatal("dedup's pipeline needs at least 3 threads, got ", nt);
+
+    // Deterministic pipeline lanes: the chunker routes each chunk by
+    // a content key, lane L's deduplicator feeds lane L's compressor
+    // through a single-producer single-consumer queue, so every
+    // thread sees an arrival order that is a pure function of the
+    // input. Content routing also makes the dedup decision
+    // lane-local: equal chunks always land in the same lane, so "who
+    // saw this fingerprint first" no longer races across threads.
+    const int lanes = (nt - 1) / 2;
+    std::vector<std::unique_ptr<BoundedQueue<Chunk>>> chunkQ;
+    std::vector<std::unique_ptr<BoundedQueue<Chunk>>> uniqueQ;
+    for (int l = 0; l < lanes; ++l) {
+        chunkQ.push_back(std::make_unique<BoundedQueue<Chunk>>(128));
+        uniqueQ.push_back(std::make_unique<BoundedQueue<Chunk>>(128));
+    }
     std::vector<uint64_t> compressedSizes(4096, 0);
     std::atomic<int> uniqueCount{0};
     std::atomic<int> dupCount{0};
     std::atomic<uint64_t> outBytes{0};
-    const int nt = session.numThreads();
-    std::atomic<int> dedupersLeft{nt > 1 ? nt / 2 : 1};
-
-    if (nt < 3)
-        fatal("dedup's pipeline needs at least 3 threads, got ", nt);
 
     session.run([&](trace::ThreadCtx &ctx) {
         // Hot-code size of the application this
@@ -88,6 +97,9 @@ Dedup::runCpu(trace::TraceSession &session, core::Scale scale)
         const int t = ctx.tid();
         if (t == 0) {
             // Stage 1: content-defined chunking via a rolling hash.
+            // The boundary hash doubles as the routing key — it is a
+            // content digest of the chunk, so identical chunks route
+            // identically.
             uint64_t h = 0;
             int start = 0;
             int id = 0;
@@ -99,40 +111,42 @@ Dedup::runCpu(trace::TraceSession &session, core::Scale scale)
                                 i - start >= 4096 || i == bytes - 1;
                 ctx.branch();
                 if (boundary) {
-                    chunkQ.push({&input[start], i - start + 1, id++});
+                    int lane = int((h >> 10) % uint64_t(lanes));
+                    chunkQ[size_t(lane)]->push(
+                        {&input[start], i - start + 1, id++});
                     start = i + 1;
                     h = 0;
                 }
             }
-            chunkQ.close();
-        } else if (t <= nt / 2) {
-            // Stage 2: deduplicate chunks by fingerprint.
-            while (auto c = chunkQ.pop()) {
+            for (int l = 0; l < lanes; ++l)
+                chunkQ[size_t(l)]->close();
+        } else if (t <= lanes) {
+            // Stage 2: deduplicate this lane's chunks by fingerprint
+            // (lane-local table; routing already partitioned by
+            // content).
+            const int lane = t - 1;
+            std::unordered_map<uint64_t, int> table;
+            while (auto c = chunkQ[size_t(lane)]->pop()) {
                 uint64_t fp = 1469598103934665603ULL;
                 for (int i = 0; i < c->len; ++i) {
                     ctx.load(&c->data[i], 1);
                     ctx.alu(2);
                     fp = (fp ^ c->data[i]) * 1099511628211ULL;
                 }
-                bool fresh;
-                {
-                    std::lock_guard<std::mutex> lock(tableMtx);
-                    fresh = table.emplace(fp, c->id).second;
-                }
+                bool fresh = table.emplace(fp, c->id).second;
                 ctx.branch();
                 if (fresh) {
                     uniqueCount.fetch_add(1);
-                    uniqueQ.push(*c);
+                    uniqueQ[size_t(lane)]->push(*c);
                 } else {
                     dupCount.fetch_add(1);
                 }
             }
-            // The last deduplicator to finish closes the next stage.
-            if (dedupersLeft.fetch_sub(1) == 1)
-                uniqueQ.close();
-        } else {
+            uniqueQ[size_t(lane)]->close();
+        } else if (t <= 2 * lanes) {
             // Stage 3: "compress" unique chunks (delta + RLE sizing).
-            while (auto c = uniqueQ.pop()) {
+            const int lane = t - 1 - lanes;
+            while (auto c = uniqueQ[size_t(lane)]->pop()) {
                 int runs = 1;
                 for (int i = 1; i < c->len; ++i) {
                     ctx.load(&c->data[i], 1);
@@ -145,6 +159,15 @@ Dedup::runCpu(trace::TraceSession &session, core::Scale scale)
                 outBytes.fetch_add(sz);
                 if (c->id < int(compressedSizes.size()))
                     ctx.store(&compressedSizes[c->id], 8);
+            }
+        }
+        // Stage 4: reassembly scan once the pipeline drains (any
+        // thread beyond the lane pairs, e.g. t = 7 of 8).
+        ctx.barrier();
+        if (t == 2 * lanes + 1) {
+            for (size_t i = 0; i < compressedSizes.size(); ++i) {
+                ctx.load(&compressedSizes[i], 8);
+                ctx.alu(1);
             }
         }
     });

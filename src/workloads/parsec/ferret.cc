@@ -1,7 +1,7 @@
 #include "workloads/parsec/parsec.hh"
 
-#include <atomic>
 #include <cmath>
+#include <memory>
 
 #include "support/logging.hh"
 #include "support/rng.hh"
@@ -79,7 +79,6 @@ Ferret::runCpu(trace::TraceSession &session, core::Scale scale)
         v = float(rng.gaussian());
 
     constexpr int kBuckets = 256;
-    std::vector<std::vector<int>> buckets(size_t(kTables) * kBuckets);
     auto hashOf = [&](const float *vec, int table) {
         // 8 sign bits from shifted dot products with one hyperplane.
         unsigned h = 0;
@@ -93,23 +92,47 @@ Ferret::runCpu(trace::TraceSession &session, core::Scale scale)
         }
         return h;
     };
+    // Hash tables in CSR form (two flat arrays instead of one small
+    // heap block per bucket): the probed addresses then live in two
+    // fixed allocations whose internal layout is the same every run.
+    const size_t nBuckets = size_t(kTables) * kBuckets;
+    std::vector<int> bucketStart(nBuckets + 1, 0);
+    std::vector<int> bucketItems(size_t(dbSize) * kTables);
     for (int i = 0; i < dbSize; ++i)
         for (int tb = 0; tb < kTables; ++tb)
-            buckets[size_t(tb) * kBuckets +
-                    hashOf(&db[size_t(i) * kDim], tb)]
-                .push_back(i);
+            ++bucketStart[size_t(tb) * kBuckets +
+                          hashOf(&db[size_t(i) * kDim], tb) + 1];
+    for (size_t b = 0; b < nBuckets; ++b)
+        bucketStart[b + 1] += bucketStart[b];
+    {
+        std::vector<int> fill(bucketStart.begin(),
+                              bucketStart.end() - 1);
+        for (int i = 0; i < dbSize; ++i)
+            for (int tb = 0; tb < kTables; ++tb)
+                bucketItems[size_t(
+                    fill[size_t(tb) * kBuckets +
+                         hashOf(&db[size_t(i) * kDim], tb)]++)] = i;
+    }
 
-    BoundedQueue<Query> extractQ(64);
-    BoundedQueue<Probed> rankQ(64);
+    // Deterministic pipeline lanes: queries are routed to extract
+    // lane (id % lanes), and lane L's extractor feeds lane L's ranker
+    // through a single-producer single-consumer queue. Every thread's
+    // arrival order is then a pure function of the query stream
+    // instead of cross-thread pop timing.
+    const int lanes = (nt - 1) / 2;
+    std::vector<std::unique_ptr<BoundedQueue<Query>>> extractQ;
+    std::vector<std::unique_ptr<BoundedQueue<Probed>>> rankQ;
+    for (int l = 0; l < lanes; ++l) {
+        extractQ.push_back(std::make_unique<BoundedQueue<Query>>(64));
+        rankQ.push_back(std::make_unique<BoundedQueue<Probed>>(64));
+    }
     std::vector<int> best(queries, -1);
-    std::atomic<int> extractorsLeft{std::max(1, (nt - 2) / 2)};
 
     session.run([&](trace::ThreadCtx &ctx) {
         // Hot-code size of the application this
         // workload models (Fig. 11 substitution).
         ctx.codeRegion(150 * 1024);
         const int t = ctx.tid();
-        const int extractors = std::max(1, (nt - 2) / 2);
 
         if (t == 0) {
             // Stage 1: synthesize/segment query images.
@@ -125,12 +148,14 @@ Ferret::runCpu(trace::TraceSession &session, core::Scale scale)
                     qu.feature[f] = db[size_t(base) * kDim + f] +
                                     0.1f * float(qrng.gaussian());
                 }
-                extractQ.push(std::move(qu));
+                extractQ[size_t(q % lanes)]->push(std::move(qu));
             }
-            extractQ.close();
-        } else if (t <= extractors) {
+            for (int l = 0; l < lanes; ++l)
+                extractQ[size_t(l)]->close();
+        } else if (t <= lanes) {
             // Stage 2: feature normalization + LSH index probe.
-            while (auto q = extractQ.pop()) {
+            const int lane = t - 1;
+            while (auto q = extractQ[size_t(lane)]->pop()) {
                 float norm = 0.0f;
                 for (int f = 0; f < kDim; ++f) {
                     ctx.fp(2);
@@ -148,22 +173,23 @@ Ferret::runCpu(trace::TraceSession &session, core::Scale scale)
                     ctx.load(&planes[size_t(tb) * kDim], 16);
                     ctx.fp(2 * kDim);
                     unsigned h = hashOf(q->feature.data(), tb);
-                    const auto &bucket =
-                        buckets[size_t(tb) * kBuckets + h];
-                    for (int cand : bucket) {
-                        ctx.load(&bucket[0], 4);
+                    size_t b = size_t(tb) * kBuckets + h;
+                    for (int k = bucketStart[b];
+                         k < bucketStart[b + 1]; ++k) {
+                        int cand = bucketItems[size_t(k)];
+                        ctx.load(&bucketItems[size_t(k)], 4);
                         ctx.branch();
                         if (int(pr.candidates.size()) < kCandidates)
                             pr.candidates.push_back(cand);
                     }
                 }
-                rankQ.push(std::move(pr));
+                rankQ[size_t(lane)]->push(std::move(pr));
             }
-            if (extractorsLeft.fetch_sub(1) == 1)
-                rankQ.close();
-        } else {
-            // Stage 3: rank candidates by true distance.
-            while (auto pr = rankQ.pop()) {
+            rankQ[size_t(lane)]->close();
+        } else if (t <= 2 * lanes) {
+            // Stage 3: rank this lane's candidates by true distance.
+            const int lane = t - 1 - lanes;
+            while (auto pr = rankQ[size_t(lane)]->pop()) {
                 float bestDist = 1e30f;
                 int bestId = -1;
                 for (int cand : pr->candidates) {
@@ -185,6 +211,15 @@ Ferret::runCpu(trace::TraceSession &session, core::Scale scale)
                 }
                 best[pr->id] = bestId;
                 ctx.store(&best[pr->id], 4);
+            }
+        }
+        // Stage 4: output aggregation once the pipeline drains (any
+        // thread beyond the lane pairs, e.g. t = 7 of 8).
+        ctx.barrier();
+        if (t == 2 * lanes + 1) {
+            for (int q = 0; q < queries; ++q) {
+                ctx.load(&best[q], 4);
+                ctx.alu(1);
             }
         }
     });

@@ -51,6 +51,12 @@ Fluidanimate::runCpu(trace::TraceSession &session, core::Scale scale)
 
     Rng rng(0xF1D);
     std::vector<float> px(particles), py(particles), pz(particles);
+    // Double-buffered positions: each frame reads px/py/pz and writes
+    // qx/qy/qz (Jacobi-style update). Neighbor reads in the force
+    // pass therefore never race with this frame's integration
+    // stores, so every computed value — and every recorded branch —
+    // is a pure function of the previous frame's state.
+    std::vector<float> qx(particles), qy(particles), qz(particles);
     std::vector<float> vx(particles, 0.0f), vy(particles, 0.0f),
         vz(particles, 0.0f);
     std::vector<float> density(particles, 0.0f);
@@ -60,8 +66,13 @@ Fluidanimate::runCpu(trace::TraceSession &session, core::Scale scale)
         pz[i] = float(rng.uniform(0.0, gridN * cell));
     }
 
-    // Cell lists, rebuilt each frame by thread 0.
-    std::vector<std::vector<int>> cells(size_t(gridN) * gridN * gridN);
+    // Cell lists in CSR form, rebuilt each frame by thread 0. Flat
+    // arrays sized up front (instead of per-cell vectors grown from
+    // inside worker threads) so the traced addresses come from these
+    // fixed allocations.
+    const size_t numCells = size_t(gridN) * gridN * gridN;
+    std::vector<int> cellStart(numCells + 1, 0);
+    std::vector<int> cellItems(size_t(particles), 0);
     auto cellOf = [&](int i) {
         int cx = std::min(gridN - 1, std::max(0, int(px[i] / cell)));
         int cy = std::min(gridN - 1, std::max(0, int(py[i] / cell)));
@@ -80,12 +91,21 @@ Fluidanimate::runCpu(trace::TraceSession &session, core::Scale scale)
 
         for (int f = 0; f < frames; ++f) {
             if (t == 0) {
-                for (auto &c : cells)
-                    c.clear();
+                // Counting sort into CSR: count, prefix-sum, fill.
+                std::fill(cellStart.begin(), cellStart.end(), 0);
                 for (int i = 0; i < particles; ++i) {
                     ctx.load(&px[i], 12);
                     ctx.alu(6);
-                    cells[cellOf(i)].push_back(i);
+                    ++cellStart[cellOf(i) + 1];
+                }
+                for (size_t c = 0; c < numCells; ++c)
+                    cellStart[c + 1] += cellStart[c];
+                std::vector<int> fill(cellStart.begin(),
+                                      cellStart.end() - 1);
+                for (int i = 0; i < particles; ++i) {
+                    int pos = fill[cellOf(i)]++;
+                    cellItems[size_t(pos)] = i;
+                    ctx.store(&cellItems[size_t(pos)], 4);
                 }
             }
             ctx.barrier();
@@ -110,12 +130,13 @@ Fluidanimate::runCpu(trace::TraceSession &session, core::Scale scale)
                                 nx >= gridN || ny >= gridN ||
                                 nz >= gridN)
                                 continue;
-                            const auto &bucket =
-                                cells[(size_t(nz) * gridN + ny) *
-                                          gridN +
-                                      nx];
-                            for (int j : bucket) {
-                                ctx.load(&bucket[0], 4);
+                            size_t c = (size_t(nz) * gridN + ny) *
+                                           gridN +
+                                       nx;
+                            for (int k = cellStart[c];
+                                 k < cellStart[c + 1]; ++k) {
+                                int j = cellItems[size_t(k)];
+                                ctx.load(&cellItems[size_t(k)], 4);
                                 ctx.load(&px[j], 12);
                                 float ddx = px[j] - px[i];
                                 float ddy = py[j] - py[i];
@@ -158,13 +179,15 @@ Fluidanimate::runCpu(trace::TraceSession &session, core::Scale scale)
                                 nx >= gridN || ny >= gridN ||
                                 nz >= gridN)
                                 continue;
-                            const auto &bucket =
-                                cells[(size_t(nz) * gridN + ny) *
-                                          gridN +
-                                      nx];
-                            for (int j : bucket) {
+                            size_t c = (size_t(nz) * gridN + ny) *
+                                           gridN +
+                                       nx;
+                            for (int k = cellStart[c];
+                                 k < cellStart[c + 1]; ++k) {
+                                int j = cellItems[size_t(k)];
                                 if (j == i)
                                     continue;
+                                ctx.load(&cellItems[size_t(k)], 4);
                                 ctx.load(&px[j], 12);
                                 ctx.load(&density[j], 4);
                                 float ddx = px[j] - px[i];
@@ -192,17 +215,25 @@ Fluidanimate::runCpu(trace::TraceSession &session, core::Scale scale)
                 vx[i] += dt * fx2;
                 vy[i] += dt * fy2;
                 vz[i] += dt * fz2;
-                px[i] = std::min(float(gridN) - 0.01f,
+                qx[i] = std::min(float(gridN) - 0.01f,
                                  std::max(0.0f, px[i] + dt * vx[i]));
-                py[i] = std::min(float(gridN) - 0.01f,
+                qy[i] = std::min(float(gridN) - 0.01f,
                                  std::max(0.0f, py[i] + dt * vy[i]));
-                pz[i] = std::min(float(gridN) - 0.01f,
+                qz[i] = std::min(float(gridN) - 0.01f,
                                  std::max(0.0f, pz[i] + dt * vz[i]));
                 ctx.fp(12);
-                ctx.store(&px[i], 12);
+                ctx.store(&qx[i], 12);
                 ctx.store(&vx[i], 12);
             }
             ctx.barrier();
+            // Publish the frame's positions: only thread 0 runs
+            // between this barrier and the next frame's rebuild (or
+            // session exit), so the swap is unracing by construction.
+            if (t == 0) {
+                px.swap(qx);
+                py.swap(qy);
+                pz.swap(qz);
+            }
         }
     });
 

@@ -84,8 +84,18 @@ Freqmine::runCpu(trace::TraceSession &session, core::Scale scale)
     std::vector<int> freq(items, 0);
     // Per-thread FP-trees over the thread's transaction slice (the
     // parallel tree-building phase); roots merged logically by
-    // summing per-item path counts.
+    // summing per-item path counts. Capacity is reserved here, on
+    // the main thread, at the exact worst case (one node per slice
+    // item plus the root): the builders' push_back then never
+    // allocates, so the traced node addresses come from this one
+    // deterministic allocation rather than whichever malloc arena
+    // the worker thread happened to be assigned.
     std::vector<std::vector<FpNode>> trees(nt);
+    for (int t = 0; t < nt; ++t) {
+        const int lo = txns * t / nt;
+        const int hi = txns * (t + 1) / nt;
+        trees[t].reserve(size_t(txStart[hi] - txStart[lo]) + 1);
+    }
     std::vector<uint64_t> localSig(nt, 0);
 
     session.run([&](trace::ThreadCtx &ctx) {

@@ -99,9 +99,11 @@ Bfs::runCpu(trace::TraceSession &session, core::Scale scale)
     const Params p = params(scale);
     BfsGraph g = BfsGraph::random(p.nodes, p.avgDegree, 0xBF5);
     std::vector<int> cost(g.numNodes, -1);
+    std::vector<int> prevCost(g.numNodes, -1);
     std::vector<uint8_t> frontier(g.numNodes, 0);
     std::vector<uint8_t> next(g.numNodes, 0);
     cost[0] = 0;
+    prevCost[0] = 0;
     frontier[0] = 1;
     bool more = true;
     const int nt = session.numThreads();
@@ -124,7 +126,14 @@ Bfs::runCpu(trace::TraceSession &session, core::Scale scale)
                 for (int e = e0; e < e1; ++e) {
                     int v = ctx.ld(&g.adj[e]);
                     ctx.branch();
-                    if (ctx.ld(&cost[v]) < 0) {
+                    // Visited-check against the previous level's
+                    // snapshot, not the live array: racing writers
+                    // all store the identical level + 1 (like the
+                    // Rodinia GPU kernel), and whether a peer's
+                    // store has become visible no longer changes
+                    // this thread's recorded trace — the trace is a
+                    // pure function of the graph.
+                    if (ctx.ld(&prevCost[v]) < 0) {
                         ctx.st(&cost[v], level + 1);
                         ctx.st(&next[v], uint8_t(1));
                     }
@@ -138,6 +147,8 @@ Bfs::runCpu(trace::TraceSession &session, core::Scale scale)
                     if (next[u])
                         more = true;
                 }
+                std::copy(cost.begin(), cost.end(),
+                          prevCost.begin());
                 std::swap(frontier, next);
                 std::fill(next.begin(), next.end(), uint8_t(0));
             }

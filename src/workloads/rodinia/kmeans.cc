@@ -80,8 +80,9 @@ Kmeans::runCpu(trace::TraceSession &session, core::Scale scale)
     // Per-thread partial sums for the center-update reduction.
     std::vector<std::vector<double>> partialSum(
         nt, std::vector<double>(size_t(p.k) * p.d, 0.0));
-    std::vector<std::vector<int>> partialCount(nt,
-                                               std::vector<int>(p.k, 0));
+    // Flat nt x k counts: one allocation, so the traced reduction
+    // addresses don't depend on where nt tiny vectors landed.
+    std::vector<int> partialCount(size_t(nt) * p.k, 0);
 
     session.run([&](trace::ThreadCtx &ctx) {
         // Hot-code size of the application this
@@ -93,9 +94,9 @@ Kmeans::runCpu(trace::TraceSession &session, core::Scale scale)
 
         for (int iter = 0; iter < p.iters; ++iter) {
             auto &sums = partialSum[t];
-            auto &counts = partialCount[t];
+            int *counts = &partialCount[size_t(t) * p.k];
             std::fill(sums.begin(), sums.end(), 0.0);
-            std::fill(counts.begin(), counts.end(), 0);
+            std::fill(counts, counts + p.k, 0);
 
             // Assignment phase: nearest center per point.
             for (int i = lo; i < hi; ++i) {
@@ -140,8 +141,8 @@ Kmeans::runCpu(trace::TraceSession &session, core::Scale scale)
                 for (int c = 0; c < p.k; ++c) {
                     int total = 0;
                     for (int w = 0; w < nt; ++w) {
-                        ctx.load(&partialCount[w][c], 4);
-                        total += partialCount[w][c];
+                        ctx.load(&partialCount[size_t(w) * p.k + c], 4);
+                        total += partialCount[size_t(w) * p.k + c];
                         ctx.alu(1);
                     }
                     if (total == 0)

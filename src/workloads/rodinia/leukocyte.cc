@@ -37,6 +37,14 @@ makeData(const Leukocyte::Params &p, LcData &d)
     for (auto &v : d.image)
         v = float(rng.uniform(0.0, 255.0));
 
+    // The sample tables are tiny (8 floats at full scale) and their
+    // addresses are traced; reserve at least a cache line so the
+    // allocation crosses the page-alignment threshold and the tables
+    // never share a page with an unrelated allocation.
+    const size_t tableCap = std::max<size_t>(p.samples, 16);
+    d.sinT.reserve(tableCap);
+    d.cosT.reserve(tableCap);
+    d.weightT.reserve(tableCap);
     d.sinT.resize(p.samples);
     d.cosT.resize(p.samples);
     d.weightT.resize(p.samples);

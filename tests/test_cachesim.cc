@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "cachesim/cache.hh"
+#include "cachesim/sweep.hh"
 #include "support/rng.hh"
 #include "trace/trace.hh"
 
@@ -154,6 +155,162 @@ TEST(CacheSim, AccessAccounting)
     EXPECT_EQ(st.misses + (st.accesses - st.misses), st.accesses);
     EXPECT_LE(st.sharedResidencies, st.residencies);
     EXPECT_LE(st.accessesToShared, st.accesses);
+}
+
+namespace {
+
+/** Record a mixed multi-threaded trace with line-straddling sizes. */
+void
+recordMixedTrace(trace::TraceSession &session, std::vector<uint8_t> &heap,
+                 int accessesPerThread)
+{
+    session.run([&](trace::ThreadCtx &ctx) {
+        Rng local(321 + ctx.tid());
+        for (int i = 0; i < accessesPerThread; ++i) {
+            // Zipf-ish reuse plus cold tail, with sizes up to 64 B so
+            // some accesses straddle a line boundary.
+            uint64_t addr = local.chance(0.7)
+                                ? local.below(1 << 13)
+                                : local.below(heap.size() - 64);
+            uint32_t size = uint32_t(1 + local.below(64));
+            if (local.chance(0.3))
+                ctx.store(&heap[addr], size);
+            else
+                ctx.load(&heap[addr], size);
+        }
+    });
+    session.normalizeAddresses();
+}
+
+/** Replay the session through an independent per-size SharedCache. */
+CacheStats
+oracleStats(const trace::TraceSession &session, uint64_t bytes, int assoc,
+            int line)
+{
+    SharedCache oracle(smallConfig(bytes, assoc, line));
+    session.forEachInterleaved([&](int tid, const trace::MemEvent &e) {
+        oracle.access(tid, e.addr, e.size, e.isWrite != 0);
+    });
+    return oracle.finish();
+}
+
+} // namespace
+
+/**
+ * The equivalence contract: every CacheStats field the single-pass
+ * sweep produces — including the hit-depth histogram and the sharing
+ * counters — equals an independent SharedCache replay of the same
+ * interleaved trace, at every swept size.
+ */
+TEST(CacheSweep, MatchesSharedCacheOracleExactly)
+{
+    trace::TraceSession session(8);
+    std::vector<uint8_t> heap(1 << 18);
+    recordMixedTrace(session, heap, 6000);
+
+    SweepConfig cfg;
+    cfg.sizesBytes = {8 * 1024, 32 * 1024, 128 * 1024, 1024 * 1024};
+    auto result = runSweep(session, cfg);
+    ASSERT_EQ(result.stats.size(), cfg.sizesBytes.size());
+    ASSERT_EQ(result.sizesBytes, cfg.sizesBytes);
+
+    for (size_t i = 0; i < cfg.sizesBytes.size(); ++i) {
+        CacheStats want = oracleStats(session, cfg.sizesBytes[i],
+                                      cfg.assoc, cfg.lineBytes);
+        EXPECT_TRUE(result.stats[i] == want)
+            << "size " << cfg.sizesBytes[i];
+        EXPECT_EQ(result.stats[i].accesses, result.lineAccesses);
+    }
+}
+
+/** Equivalence holds off the default geometry too. */
+TEST(CacheSweep, OracleEquivalenceAcrossGeometries)
+{
+    trace::TraceSession session(4);
+    std::vector<uint8_t> heap(1 << 16);
+    recordMixedTrace(session, heap, 3000);
+
+    struct Geometry
+    {
+        int assoc;
+        int line;
+    };
+    for (Geometry g : {Geometry{1, 64}, Geometry{2, 32},
+                       Geometry{8, 128}}) {
+        SweepConfig cfg;
+        cfg.assoc = g.assoc;
+        cfg.lineBytes = g.line;
+        cfg.sizesBytes = {uint64_t(g.assoc) * uint64_t(g.line) * 16,
+                          uint64_t(g.assoc) * uint64_t(g.line) * 256};
+        auto result = runSweep(session, cfg);
+        for (size_t i = 0; i < cfg.sizesBytes.size(); ++i) {
+            CacheStats want = oracleStats(session, cfg.sizesBytes[i],
+                                          g.assoc, g.line);
+            EXPECT_TRUE(result.stats[i] == want)
+                << "assoc " << g.assoc << " line " << g.line
+                << " size " << cfg.sizesBytes[i];
+        }
+    }
+}
+
+/** hitDepth is a complete, consistent decomposition of the hits. */
+TEST(CacheSweep, HitDepthAccountingInvariants)
+{
+    trace::TraceSession session(4);
+    std::vector<uint8_t> heap(1 << 17);
+    recordMixedTrace(session, heap, 4000);
+
+    SweepConfig cfg;
+    cfg.sizesBytes = paperCacheSizes();
+    auto result = runSweep(session, cfg);
+    for (const CacheStats &st : result.stats) {
+        uint64_t depthHits = 0;
+        for (uint64_t d : st.hitDepth)
+            depthHits += d;
+        EXPECT_EQ(depthHits, st.accesses - st.misses);
+        // Depth-projected misses: exact at the simulated assoc, and
+        // non-increasing as the projected associativity grows.
+        EXPECT_EQ(st.missesAtAssoc(cfg.assoc), st.misses);
+        for (int a = 1; a < cfg.assoc; ++a)
+            EXPECT_GE(st.missesAtAssoc(a), st.missesAtAssoc(a + 1));
+        EXPECT_LE(st.missesAtAssoc(1), st.accesses);
+    }
+}
+
+/** Replay telemetry: line accesses and throughput derivation. */
+TEST(CacheSweep, ReplayTelemetry)
+{
+    trace::TraceSession session(2);
+    std::vector<uint8_t> heap(1 << 14);
+    recordMixedTrace(session, heap, 500);
+
+    SweepConfig cfg;
+    cfg.sizesBytes = {64 * 1024};
+    auto result = runSweep(session, cfg);
+    EXPECT_GT(result.lineAccesses, 0u);
+    EXPECT_GE(result.replaySeconds, 0.0);
+
+    SweepResult r;
+    r.lineAccesses = 100;
+    r.replaySeconds = 4.0;
+    EXPECT_DOUBLE_EQ(r.accessesPerSecond(), 25.0);
+    r.replaySeconds = 0.0;
+    EXPECT_DOUBLE_EQ(r.accessesPerSecond(), 0.0);
+}
+
+/** Bad geometry dies loudly instead of truncating the set count. */
+TEST(CacheConfigDeath, RejectsInvalidGeometry)
+{
+    EXPECT_DEATH(smallConfig(4096, 0, 64).numSets(),
+                 "must be positive");
+    EXPECT_DEATH(smallConfig(4096, 4, 48).numSets(),
+                 "power of two");
+    EXPECT_DEATH(smallConfig(4000, 4, 64).numSets(),
+                 "not a positive multiple");
+    EXPECT_DEATH(smallConfig(3 * 4096, 4, 64).numSets(),
+                 "set count must be a power of two");
+    EXPECT_DEATH(SharedCache(smallConfig(0, 4, 64)),
+                 "not a positive multiple");
 }
 
 /** Sharing rises with cache size when threads share a hot region. */

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <filesystem>
 #include <fstream>
@@ -187,6 +188,30 @@ TEST(Executor, DeterministicAcrossThreadCounts)
     EXPECT_EQ(serial, wide);
 }
 
+TEST(Executor, DependentsRunExactlyOnceUnderContention)
+{
+    // An instantly-finishing root fanning out to many dependents,
+    // with independent tail work racing the wakeup: every job must
+    // run exactly once regardless of which worker claims it.
+    constexpr int kFan = 24;
+    for (int iter = 0; iter < 10; ++iter) {
+        JobGraph g;
+        std::array<std::atomic<int>, 2 * kFan> counts{};
+        size_t root = g.add("root", [] {});
+        for (int i = 0; i < kFan; ++i)
+            g.add("dep" + std::to_string(i),
+                  [&counts, i] { ++counts[size_t(i)]; }, {root});
+        for (int i = 0; i < kFan; ++i)
+            g.add("free" + std::to_string(i),
+                  [&counts, i] { ++counts[size_t(kFan + i)]; });
+        Executor ex(4);
+        ASSERT_TRUE(ex.run(g));
+        EXPECT_TRUE(g.allDone());
+        for (int i = 0; i < 2 * kFan; ++i)
+            EXPECT_EQ(counts[size_t(i)].load(), 1) << "job " << i;
+    }
+}
+
 TEST(Executor, WallClockAccountingIsRecorded)
 {
     Executor ex(2);
@@ -194,7 +219,7 @@ TEST(Executor, WallClockAccountingIsRecorded)
     g.add("sleepless", [] {
         volatile double x = 0;
         for (int i = 0; i < 100000; ++i)
-            x += double(i);
+            x = x + double(i);
     });
     ASSERT_TRUE(ex.run(g));
     EXPECT_EQ(g.job(0).status, JobStatus::Done);
@@ -295,6 +320,70 @@ TEST(ResultStore, ConcurrentWritersStayConsistent)
     auto back = store.load(key);
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(*back, "deterministic-payload");
+}
+
+TEST(ResultStore, FailedPublishIsCountedNotTorn)
+{
+    ScratchDir scratch("pubfail");
+    // Occupy the store's directory path with a regular file so the
+    // publish path cannot create the cache directory.
+    {
+        std::ofstream block(scratch.dir());
+        block << "in the way";
+    }
+    ResultStore store(scratch.dir());
+    auto key = driver::cpuCharKey("bfs", core::Scale::Full, 8);
+    EXPECT_FALSE(store.store(key, "payload"));
+    EXPECT_EQ(store.publishFailures(), 1u);
+    // The failed publish left no entry behind — absent, not torn.
+    EXPECT_FALSE(store.load(key).has_value());
+}
+
+TEST(ResultStore, DiscardDropsEntryAndReclassifiesHit)
+{
+    ScratchDir scratch("discard");
+    ResultStore store(scratch.dir());
+    auto key = driver::cpuCharKey("hotspot", core::Scale::Full, 8);
+    ASSERT_TRUE(store.store(key, "corrupt-but-loadable"));
+    ASSERT_TRUE(store.load(key).has_value());
+    EXPECT_EQ(store.hits(), 1u);
+    EXPECT_EQ(store.misses(), 0u);
+
+    // The caller found the payload unusable: the entry disappears
+    // and the hit that surfaced it is reclassified as a miss.
+    store.discard(key);
+    EXPECT_FALSE(std::filesystem::exists(store.pathFor(key)));
+    EXPECT_EQ(store.hits(), 0u);
+    EXPECT_EQ(store.misses(), 1u);
+
+    // Self-healing: the recompute's store works and future loads hit.
+    EXPECT_FALSE(store.load(key).has_value());
+    ASSERT_TRUE(store.store(key, "fresh"));
+    auto back = store.load(key);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, "fresh");
+}
+
+TEST(ResultStore, CpuCharRoundTripPreservesHitDepth)
+{
+    core::CpuCharacterization c;
+    c.name = "srad";
+    c.suite = core::Suite::Rodinia;
+    c.threads = 4;
+    c.cacheSizes = {128 * 1024};
+    c.sweep.resize(1);
+    auto &s = c.sweep[0];
+    s.accesses = 1000;
+    s.misses = 120;
+    s.hitDepth = {500, 200, 100, 80, 0, 0, 0, 0};
+
+    core::CpuCharacterization back;
+    ASSERT_TRUE(driver::parseCpuChar(driver::serializeCpuChar(c), back));
+    ASSERT_EQ(back.sweep.size(), 1u);
+    EXPECT_EQ(back.sweep[0].hitDepth, s.hitDepth);
+    // Depth-projected miss counts survive the round trip.
+    EXPECT_EQ(back.sweep[0].missesAtAssoc(1), 500u);
+    EXPECT_EQ(back.sweep[0].missesAtAssoc(4), s.misses);
 }
 
 TEST(ResultStore, CpuCharRoundTrip)

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
+#include "support/alloc_align.hh"
+#include "support/rng.hh"
 #include "trace/trace.hh"
 
 using namespace rodinia;
@@ -147,6 +151,85 @@ TEST(Trace, InterleavingIsRoundRobinAndComplete)
     EXPECT_EQ(order[3], 0);
     // Thread 2 has the most events, so the tail is all 2s.
     EXPECT_EQ(order[8], 2);
+}
+
+TEST(Trace, NormalizeSplitsLineStraddlingEvents)
+{
+    TraceSession s(1);
+    std::vector<uint8_t> buf(256);
+    // Start 4 bytes before a 64 B line boundary so the 12-byte load
+    // straddles it.
+    uintptr_t base = uintptr_t(buf.data());
+    uintptr_t boundary = (base + 64) & ~uintptr_t(63);
+    uint8_t *p = reinterpret_cast<uint8_t *>(boundary - 4);
+    s.run([&](ThreadCtx &ctx) { ctx.load(p, 12); });
+    s.normalizeAddresses();
+    const auto &ev = s.contexts()[0]->events();
+    ASSERT_EQ(ev.size(), 2u);
+    EXPECT_EQ(ev[0].size + ev[1].size, 12u);
+    // Each piece now covers exactly one line.
+    for (const auto &e : ev)
+        EXPECT_EQ(e.addr >> 6,
+                  (e.addr + (e.size ? e.size - 1 : 0)) >> 6);
+}
+
+TEST(Trace, NormalizeAssignsFirstTouchSequentialPages)
+{
+    TraceSession s(1);
+    std::vector<uint8_t> buf(3 * 4096);
+    s.run([&](ThreadCtx &ctx) {
+        ctx.load(&buf[2 * 4096], 4); // touched first
+        ctx.load(&buf[0], 4);
+        ctx.load(&buf[4096], 4);
+        ctx.load(&buf[2 * 4096 + 8], 4); // same line as the first
+    });
+    s.normalizeAddresses();
+    const auto &ev = s.contexts()[0]->events();
+    ASSERT_EQ(ev.size(), 4u);
+    // Pages are renumbered in first-touch order...
+    EXPECT_EQ(ev[1].addr >> 12, (ev[0].addr >> 12) + 1);
+    EXPECT_EQ(ev[2].addr >> 12, (ev[1].addr >> 12) + 1);
+    // ...and same-line accesses land on the same canonical line.
+    EXPECT_EQ(ev[3].addr >> 6, ev[0].addr >> 6);
+    // The figure-level footprint is unchanged by renumbering.
+    EXPECT_EQ(s.dataFootprintPages(), 3u);
+}
+
+/**
+ * Identical logical access patterns against different allocations
+ * produce byte-identical canonical traces: the guarantee the
+ * cross-process figure determinism rests on. (Equal line/page
+ * *phase* of the two buffers is guaranteed by the scoped allocation
+ * alignment in support/alloc_align.hh, held here exactly as
+ * core::characterizeCpu holds it around a workload run.)
+ */
+TEST(Trace, NormalizeCanonicalizesAcrossAllocations)
+{
+    support::DeterministicAllocScope alignScope;
+    using Canon = std::vector<std::tuple<int, uint64_t, uint16_t,
+                                         uint8_t>>;
+    auto canonEvents = [](std::vector<uint8_t> &buf) {
+        TraceSession s(2);
+        s.run([&](ThreadCtx &ctx) {
+            Rng local(7 + ctx.tid());
+            for (int i = 0; i < 3000; ++i) {
+                uint64_t a = local.below(buf.size() - 16);
+                uint32_t sz = uint32_t(1 + local.below(12));
+                if (local.chance(0.25))
+                    ctx.store(&buf[a], sz);
+                else
+                    ctx.load(&buf[a], sz);
+            }
+        });
+        s.normalizeAddresses();
+        Canon out;
+        s.forEachInterleaved([&](int tid, const MemEvent &e) {
+            out.emplace_back(tid, e.addr, e.size, e.isWrite);
+        });
+        return out;
+    };
+    std::vector<uint8_t> a(1 << 14), b(1 << 14);
+    EXPECT_TRUE(canonEvents(a) == canonEvents(b));
 }
 
 TEST(Trace, WideAccessRecordsSize)

@@ -15,6 +15,7 @@
  * Usage:
  *   experiments [--figure <id>|all] [--jobs N] [--no-cache]
  *               [--cache-dir DIR] [--quiet] [--no-summary] [--list]
+ *               [--stats]
  */
 
 #include <chrono>
@@ -51,6 +52,7 @@ struct Options
     bool quiet = false;
     bool summary = true;
     bool list = false;
+    bool stats = false;
 };
 
 void
@@ -66,7 +68,9 @@ usage(const char *argv0)
         "  --cache-dir D  result store directory (default bench_cache)\n"
         "  --quiet        suppress per-job progress on stderr\n"
         "  --no-summary   suppress the job accounting table\n"
-        "  --list         print figure ids and exit\n",
+        "  --list         print figure ids and exit\n"
+        "  --stats        print cache-sweep replay throughput and\n"
+        "                 result-store health after the figures\n",
         argv0);
 }
 
@@ -113,6 +117,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.summary = false;
         } else if (!std::strcmp(arg, "--list")) {
             opt.list = true;
+        } else if (!std::strcmp(arg, "--stats")) {
+            opt.stats = true;
         } else if (!std::strcmp(arg, "--help") ||
                    !std::strcmp(arg, "-h")) {
             usage(argv[0]);
@@ -270,6 +276,42 @@ main(int argc, char **argv)
                     graph.totalWorkMs(),
                     (unsigned long long)store.hits(),
                     (unsigned long long)store.misses());
+    }
+
+    if (opt.stats) {
+        auto telemetry = ctx.sweepTelemetrySnapshot();
+        Table t("Cache-sweep replay throughput");
+        t.setHeader({"Characterization", "Line accesses", "Replay (s)",
+                     "Maccess/s"});
+        uint64_t totalAccesses = 0;
+        double totalSeconds = 0.0;
+        for (const auto &s : telemetry) {
+            double rate = s.replaySeconds > 0.0
+                              ? double(s.lineAccesses) /
+                                    s.replaySeconds / 1e6
+                              : 0.0;
+            t.addRow({s.key, std::to_string(s.lineAccesses),
+                      Table::fmt(s.replaySeconds, 3),
+                      Table::fmt(rate, 1)});
+            totalAccesses += s.lineAccesses;
+            totalSeconds += s.replaySeconds;
+        }
+        std::fputs(t.render().c_str(), stdout);
+        if (telemetry.empty())
+            std::printf("no sweeps replayed this run (all "
+                        "characterizations came from the store)\n");
+        else
+            std::printf("%llu line accesses in %.3f s replay: "
+                        "%.1f Maccess/s across all sizes\n",
+                        (unsigned long long)totalAccesses, totalSeconds,
+                        totalSeconds > 0.0 ? double(totalAccesses) /
+                                                 totalSeconds / 1e6
+                                           : 0.0);
+        std::printf("result store: %llu hits / %llu misses / "
+                    "%llu publish failures\n",
+                    (unsigned long long)store.hits(),
+                    (unsigned long long)store.misses(),
+                    (unsigned long long)store.publishFailures());
     }
 
     if (!allOk) {
