@@ -65,7 +65,26 @@ CacheSweep::accessLine(uint64_t tid_bit, uint64_t line_addr,
         Way *base = &lv.ways[set * size_t(cfg.assoc)];
         int n = lv.fill[set];
 
-        int depth = 0;
+        // MRU fast path: a re-reference of the stack head needs no
+        // reordering, and it is the overwhelmingly common case on
+        // looping workloads, so skip the scan-and-memmove entirely.
+        // The bookkeeping matches the depth==0 arm of the slow path
+        // exactly.
+        if (n > 0 && base[0].tag == tag) {
+            ++st.hitDepth[0];
+            uint64_t mask = base[0].threadMask;
+            bool was_shared = popcount64(mask) > 1;
+            mask |= tid_bit;
+            if (was_shared || popcount64(mask) > 1) {
+                ++st.accessesToShared;
+                if (is_write)
+                    ++st.writesToShared;
+            }
+            base[0].threadMask = mask;
+            continue;
+        }
+
+        int depth = 1;
         while (depth < n && base[depth].tag != tag)
             ++depth;
 

@@ -1,6 +1,7 @@
 #include "driver/context.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "driver/executor.hh"
@@ -129,6 +130,80 @@ Context::gpu(const std::string &name, core::Scale scale, int version)
         entry->value = recordGpuLaunch(name, scale, version);
     });
     return entry->value;
+}
+
+uint64_t
+Context::recordingHash(const std::string &name, core::Scale scale,
+                       int version)
+{
+    std::ostringstream keyName;
+    keyName << name << "/s" << int(scale) << "/v" << version;
+    Entry<uint64_t> *entry;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto &slot = gpuHashEntries[keyName.str()];
+        if (!slot)
+            slot = std::make_unique<Entry<uint64_t>>();
+        entry = slot.get();
+    }
+    std::call_once(entry->once, [&] {
+        entry->value = gpusim::contentHash(gpu(name, scale, version));
+    });
+    return entry->value;
+}
+
+const gpusim::KernelStats &
+Context::gpuStats(const std::string &name, core::Scale scale,
+                  int version, const gpusim::SimConfig &config)
+{
+    std::string fp = config.fingerprint();
+    std::ostringstream keyName;
+    keyName << name << "/s" << int(scale) << "/v" << version << "/"
+            << fp;
+    Entry<gpusim::KernelStats> *entry;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto &slot = gpuStatsEntries[keyName.str()];
+        if (!slot)
+            slot = std::make_unique<Entry<gpusim::KernelStats>>();
+        entry = slot.get();
+    }
+    std::call_once(entry->once, [&] {
+        // The recording is needed even on a store hit: its content
+        // hash is part of the key (a changed recording must not be
+        // served stale stats).
+        const gpusim::LaunchSequence &seq = gpu(name, scale, version);
+        uint64_t rec_hash = recordingHash(name, scale, version);
+        auto key = gpuStatsKey(name, scale, version, fp, rec_hash);
+        if (store) {
+            if (auto payload = store->load(key)) {
+                if (gpusim::parseKernelStats(*payload, entry->value)) {
+                    nGpuStoreHits.fetch_add(1);
+                    return;
+                }
+                store->discard(key);
+            }
+        }
+        auto t0 = std::chrono::steady_clock::now();
+        gpusim::TimingSim sim(config);
+        entry->value = sim.simulate(seq);
+        std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        if (store)
+            store->store(key,
+                         gpusim::serializeKernelStats(entry->value));
+        std::lock_guard<std::mutex> lock(mu);
+        gpuSimTelemetry.push_back(
+            {keyName.str(), entry->value.cycles, dt.count()});
+    });
+    return entry->value;
+}
+
+std::vector<Context::GpuSimTelemetry>
+Context::gpuSimTelemetrySnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return gpuSimTelemetry;
 }
 
 std::vector<Context::SweepTelemetry>

@@ -16,6 +16,7 @@
 #ifndef RODINIA_DRIVER_CONTEXT_HH
 #define RODINIA_DRIVER_CONTEXT_HH
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -27,6 +28,7 @@
 #include "core/workload.hh"
 #include "driver/result_store.hh"
 #include "gpusim/recorder.hh"
+#include "gpusim/timing.hh"
 
 namespace rodinia {
 namespace driver {
@@ -74,6 +76,21 @@ class Context
     gpu(const std::string &name, core::Scale scale, int version = 0);
 
     /**
+     * Timing-simulation stats for one workload under one SimConfig
+     * (memoized + store-cached). Keyed by the recording's content
+     * hash plus the config fingerprint, so identical (recording,
+     * config) pairs — within this process or across processes —
+     * simulate exactly once; figures that share a configuration
+     * (e.g. Fig. 1's 28-SM point and Fig. 4's 8-channel point)
+     * share the result. Safe to call concurrently from parallelFor
+     * iterations: each distinct key simulates under its own
+     * call_once.
+     */
+    const gpusim::KernelStats &
+    gpuStats(const std::string &name, core::Scale scale, int version,
+             const gpusim::SimConfig &config);
+
+    /**
      * Fan a sweep's iterations across the executor (serial when the
      * context has none). Iterations must write disjoint result
      * slots; assembly order is the caller's.
@@ -97,6 +114,23 @@ class Context
      */
     std::vector<SweepTelemetry> sweepTelemetrySnapshot() const;
 
+    /** One timing simulation actually performed this process. */
+    struct GpuSimTelemetry
+    {
+        std::string key;      //!< "name/s<scale>/v<version>/<config>"
+        uint64_t cycles = 0;  //!< simulated GPU cycles produced
+        double simSeconds = 0.0;
+    };
+
+    /**
+     * Telemetry for every timing simulation actually run (not served
+     * from memo or store) so far, in completion order. Thread-safe.
+     */
+    std::vector<GpuSimTelemetry> gpuSimTelemetrySnapshot() const;
+
+    /** gpuStats results served from the result store, not simulated. */
+    uint64_t gpuStatsStoreHits() const { return nGpuStoreHits.load(); }
+
   private:
     template <typename V> struct Entry
     {
@@ -107,12 +141,23 @@ class Context
     ResultStore *store;
     Executor *exec;
 
+    /** Content hash of a memoized recording (memoized itself: the
+     *  digest walks every event, so figures sharing a recording
+     *  should not rehash it per config). */
+    uint64_t recordingHash(const std::string &name, core::Scale scale,
+                           int version);
+
     mutable std::mutex mu;
     std::map<std::string, std::unique_ptr<Entry<core::CpuCharacterization>>>
         cpuEntries;
     std::map<std::string, std::unique_ptr<Entry<gpusim::LaunchSequence>>>
         gpuEntries;
+    std::map<std::string, std::unique_ptr<Entry<uint64_t>>> gpuHashEntries;
+    std::map<std::string, std::unique_ptr<Entry<gpusim::KernelStats>>>
+        gpuStatsEntries;
     std::vector<SweepTelemetry> sweepTelemetry;
+    std::vector<GpuSimTelemetry> gpuSimTelemetry;
+    std::atomic<uint64_t> nGpuStoreHits{0};
 };
 
 } // namespace driver

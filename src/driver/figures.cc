@@ -113,34 +113,40 @@ buildTable1(Context &ctx)
 }
 
 // ---------------------------------------------------------------
-// Figure 1: IPC on the 8- and 28-shader configurations.
+// Figure 1: IPC on the 8- and 28-shader configurations. The 12
+// benchmarks x 2 shader counts fan out across the pool through
+// Context::gpuStats (memoized + store-cached); the table is
+// assembled serially in figure order from per-iteration slots.
 // ---------------------------------------------------------------
 
 std::string
 buildFig1(Context &ctx)
 {
-    gpusim::TimingSim sim8(gpusim::SimConfig::shaders(8));
-    gpusim::TimingSim sim28(gpusim::SimConfig::shaders(28));
+    static constexpr int kShaders[2] = {8, 28};
+    const auto &order = figureOrder();
+
+    std::vector<std::array<double, 2>> ipc(order.size());
+    ctx.parallelFor(order.size() * 2, [&](size_t idx) {
+        size_t b = idx / 2;
+        size_t si = idx % 2;
+        const auto &st =
+            ctx.gpuStats(order[b].first, core::Scale::Full, 0,
+                         gpusim::SimConfig::shaders(kShaders[si]));
+        ipc[b][si] = st.ipc();
+    });
 
     Table t("Figure 1: IPC, 8-shader vs 28-shader configurations");
     t.setHeader({"Benchmark", "IPC(8)", "IPC(28)", "Scaling"});
     std::ostringstream bars;
     double maxIpc = 0.0;
-    std::vector<std::tuple<std::string, double, double>> rows;
+    for (size_t b = 0; b < order.size(); ++b)
+        maxIpc = std::max(maxIpc, ipc[b][1]);
 
-    for (const auto &[name, label] : figureOrder()) {
-        const auto &seq = ctx.gpu(name, core::Scale::Full);
-        auto s8 = sim8.simulate(seq);
-        auto s28 = sim28.simulate(seq);
-        rows.emplace_back(label, s8.ipc(), s28.ipc());
-        maxIpc = std::max(maxIpc, s28.ipc());
-        t.addRow({label, Table::fmt(s8.ipc(), 1),
-                  Table::fmt(s28.ipc(), 1),
-                  Table::fmt(s28.ipc() / std::max(s8.ipc(), 1e-9), 2) +
-                      "x"});
-    }
-
-    for (const auto &[label, i8, i28] : rows) {
+    for (size_t b = 0; b < order.size(); ++b) {
+        const auto &label = order[b].second;
+        double i8 = ipc[b][0], i28 = ipc[b][1];
+        t.addRow({label, Table::fmt(i8, 1), Table::fmt(i28, 1),
+                  Table::fmt(i28 / std::max(i8, 1e-9), 2) + "x"});
         bars << barRow(label + " (28)", i28, maxIpc) << "\n";
         bars << barRow(label + " (8)", i8, maxIpc) << "\n";
     }
@@ -216,10 +222,10 @@ buildFig4(Context &ctx)
     ctx.parallelFor(order.size() * 3, [&](size_t idx) {
         size_t b = idx / 3;
         size_t ci = idx % 3;
-        const auto &seq = ctx.gpu(order[b].first, core::Scale::Full);
         gpusim::SimConfig cfg = gpusim::SimConfig::gpgpusimDefault();
         cfg.numChannels = kChannels[ci];
-        auto st = gpusim::TimingSim(cfg).simulate(seq);
+        const auto &st =
+            ctx.gpuStats(order[b].first, core::Scale::Full, 0, cfg);
         slots[b].cycles[ci] = double(st.cycles);
         if (kChannels[ci] == 4)
             slots[b].util4 = st.bwUtilization();
@@ -238,26 +244,38 @@ buildFig4(Context &ctx)
 }
 
 // ---------------------------------------------------------------
-// Figure 5: Fermi (GTX 480) vs GTX 280.
+// Figure 5: Fermi (GTX 480) vs GTX 280. 12 benchmarks x 3 GPU
+// configurations fan out across the pool into per-benchmark slots.
 // ---------------------------------------------------------------
 
 std::string
 buildFig5(Context &ctx)
 {
-    gpusim::TimingSim gtx280(gpusim::SimConfig::gtx280());
-    gpusim::TimingSim sharedBias(gpusim::SimConfig::gtx480(false));
-    gpusim::TimingSim l1Bias(gpusim::SimConfig::gtx480(true));
+    const auto &order = figureOrder();
+    auto configFor = [](size_t ci) {
+        return ci == 0   ? gpusim::SimConfig::gtx280()
+               : ci == 1 ? gpusim::SimConfig::gtx480(false)
+                         : gpusim::SimConfig::gtx480(true);
+    };
+
+    std::vector<std::array<double, 3>> us(order.size());
+    ctx.parallelFor(order.size() * 3, [&](size_t idx) {
+        size_t b = idx / 3;
+        size_t ci = idx % 3;
+        const auto &st = ctx.gpuStats(order[b].first,
+                                      core::Scale::Full, 0,
+                                      configFor(ci));
+        us[b][ci] = st.timeUs();
+    });
 
     Table t("Figure 5: kernel time normalized to GTX 280");
     t.setHeader({"Benchmark", "GTX280", "GTX480 shared-bias",
                  "GTX480 L1-bias", "L1-bias gain"});
-    for (const auto &[name, label] : figureOrder()) {
-        const auto &seq = ctx.gpu(name, core::Scale::Full);
-        double t280 = gtx280.simulate(seq).timeUs();
-        double tShared = sharedBias.simulate(seq).timeUs();
-        double tL1 = l1Bias.simulate(seq).timeUs();
+    for (size_t b = 0; b < order.size(); ++b) {
+        double t280 = us[b][0], tShared = us[b][1], tL1 = us[b][2];
         double gain = (tShared - tL1) / tShared;
-        t.addRow({label, "1.00", Table::fmt(tShared / t280, 2),
+        t.addRow({order[b].second, "1.00",
+                  Table::fmt(tShared / t280, 2),
                   Table::fmt(tL1 / t280, 2), Table::pct(gain)});
     }
     return t.render();
@@ -271,41 +289,46 @@ std::string
 buildTable3(Context &ctx)
 {
     using gpusim::Space;
-    gpusim::TimingSim sim(gpusim::SimConfig::gpgpusimDefault());
+    // srad/leukocyte first, then the nw/lud incremental versions the
+    // release also ships; 8 (benchmark, version) combos fan out.
+    static const std::pair<const char *, int> kCombos[] = {
+        {"srad", 1},      {"srad", 2},
+        {"leukocyte", 1}, {"leukocyte", 2},
+        {"nw", 1},        {"nw", 2},
+        {"lud", 1},       {"lud", 2},
+    };
+    constexpr size_t kNumCombos = sizeof(kCombos) / sizeof(kCombos[0]);
+
+    struct Slot
+    {
+        gpusim::KernelStats st;
+        std::array<double, 7> mix{};
+    };
+    std::vector<Slot> slots(kNumCombos);
+    ctx.parallelFor(kNumCombos, [&](size_t i) {
+        const auto &[name, version] = kCombos[i];
+        slots[i].st =
+            ctx.gpuStats(name, core::Scale::Full, version,
+                         gpusim::SimConfig::gpgpusimDefault());
+        slots[i].mix = gpusim::analyzeTrace(
+                           ctx.gpu(name, core::Scale::Full, version))
+                           .memOpFractions();
+    });
+
     Table t("Table III: incrementally optimized SRAD and Leukocyte");
     t.setHeader({"Benchmark", "Version", "IPC", "BW util", "Shared",
                  "Global", "Const", "Tex"});
-    for (const std::string name : {"srad", "leukocyte"}) {
-        for (int version : {1, 2}) {
-            const auto &seq =
-                ctx.gpu(name, core::Scale::Full, version);
-            auto st = sim.simulate(seq);
-            auto mix = gpusim::analyzeTrace(seq).memOpFractions();
-            t.addRow({name, "v" + std::to_string(version),
-                      Table::fmt(st.ipc(), 0),
-                      Table::pct(st.bwUtilization(), 0),
-                      Table::pct(mix[size_t(Space::Shared)]),
-                      Table::pct(mix[size_t(Space::Global)]),
-                      Table::pct(mix[size_t(Space::Const)]),
-                      Table::pct(mix[size_t(Space::Tex)])});
-        }
-    }
-    // NW and LUD also ship incremental versions; include them as the
-    // release does.
-    for (const std::string name : {"nw", "lud"}) {
-        for (int version : {1, 2}) {
-            const auto &seq =
-                ctx.gpu(name, core::Scale::Full, version);
-            auto st = sim.simulate(seq);
-            auto mix = gpusim::analyzeTrace(seq).memOpFractions();
-            t.addRow({name, "v" + std::to_string(version),
-                      Table::fmt(st.ipc(), 0),
-                      Table::pct(st.bwUtilization(), 0),
-                      Table::pct(mix[size_t(Space::Shared)]),
-                      Table::pct(mix[size_t(Space::Global)]),
-                      Table::pct(mix[size_t(Space::Const)]),
-                      Table::pct(mix[size_t(Space::Tex)])});
-        }
+    for (size_t i = 0; i < kNumCombos; ++i) {
+        const auto &[name, version] = kCombos[i];
+        const auto &st = slots[i].st;
+        const auto &mix = slots[i].mix;
+        t.addRow({name, "v" + std::to_string(version),
+                  Table::fmt(st.ipc(), 0),
+                  Table::pct(st.bwUtilization(), 0),
+                  Table::pct(mix[size_t(Space::Shared)]),
+                  Table::pct(mix[size_t(Space::Global)]),
+                  Table::pct(mix[size_t(Space::Const)]),
+                  Table::pct(mix[size_t(Space::Tex)])});
     }
     return t.render();
 }
@@ -357,9 +380,9 @@ buildPbSensitivity(Context &ctx)
     ctx.parallelFor(order.size() * runs, [&](size_t idx) {
         size_t b = idx / runs;
         size_t r = idx % runs;
-        const auto &seq = ctx.gpu(order[b].first, core::Scale::Small);
         gpusim::SimConfig cfg = pbConfigFor(design.signs[r]);
-        auto st = gpusim::TimingSim(cfg).simulate(seq);
+        const auto &st = ctx.gpuStats(order[b].first,
+                                      core::Scale::Small, 0, cfg);
         // The paper's response variable is total execution
         // cycles (Section III-E).
         responses[b][r] = double(st.cycles);
@@ -658,25 +681,36 @@ buildAblationSimt(Context &ctx)
 std::string
 buildAblationCoalesce(Context &ctx)
 {
+    static const char *kNames[3] = {"kmeans", "cfd", "bfs"};
+    static constexpr int kGranules[3] = {32, 64, 128};
+
+    struct Slot
+    {
+        double cycles[3] = {0, 0, 0};
+        double trans[3] = {0, 0, 0};
+    };
+    std::vector<Slot> slots(3);
+    ctx.parallelFor(9, [&](size_t idx) {
+        size_t b = idx / 3;
+        size_t gi = idx % 3;
+        gpusim::SimConfig cfg = gpusim::SimConfig::gpgpusimDefault();
+        cfg.coalesceBytes = kGranules[gi];
+        const auto &st =
+            ctx.gpuStats(kNames[b], core::Scale::Small, 0, cfg);
+        slots[b].cycles[gi] = double(st.cycles);
+        slots[b].trans[gi] = double(st.dramTransactions);
+    });
+
     Table t("Coalescing-granularity ablation (normalized to 64 B)");
     t.setHeader({"Benchmark", "Metric", "32B", "64B", "128B"});
-    for (const std::string name : {"kmeans", "cfd", "bfs"}) {
-        const auto &seq = ctx.gpu(name, core::Scale::Small);
-        double cycles[3], trans[3];
-        int idx = 0;
-        for (int granule : {32, 64, 128}) {
-            gpusim::SimConfig cfg = gpusim::SimConfig::gpgpusimDefault();
-            cfg.coalesceBytes = granule;
-            auto st = gpusim::TimingSim(cfg).simulate(seq);
-            cycles[idx] = double(st.cycles);
-            trans[idx] = double(st.dramTransactions);
-            ++idx;
-        }
-        t.addRow({name, "cycles", Table::fmt(cycles[0] / cycles[1], 2),
-                  "1.00", Table::fmt(cycles[2] / cycles[1], 2)});
+    for (size_t b = 0; b < 3; ++b) {
+        const auto &s = slots[b];
+        t.addRow({kNames[b], "cycles",
+                  Table::fmt(s.cycles[0] / s.cycles[1], 2), "1.00",
+                  Table::fmt(s.cycles[2] / s.cycles[1], 2)});
         t.addRow({"", "transactions",
-                  Table::fmt(trans[0] / trans[1], 2), "1.00",
-                  Table::fmt(trans[2] / trans[1], 2)});
+                  Table::fmt(s.trans[0] / s.trans[1], 2), "1.00",
+                  Table::fmt(s.trans[2] / s.trans[1], 2)});
     }
     return t.render();
 }

@@ -108,6 +108,19 @@ class ResultStore
 ResultStore::Key cpuCharKey(const std::string &workload,
                             core::Scale scale, int threads);
 
+/**
+ * Key for a GPU timing-simulation result. The config string is the
+ * SimConfig fingerprint plus the recorded launch sequence's content
+ * hash, so a change to either the architecture under test or the
+ * recording itself (workload logic, problem size, recorder fixes)
+ * moves the key instead of serving stale stats. The kernel version
+ * rides in the threads slot (0 if shipped).
+ */
+ResultStore::Key gpuStatsKey(const std::string &workload,
+                             core::Scale scale, int version,
+                             const std::string &config_fingerprint,
+                             uint64_t recording_hash);
+
 /** Serialize a CPU characterization to the store payload format. */
 std::string serializeCpuChar(const core::CpuCharacterization &c);
 

@@ -42,15 +42,23 @@ DeviceSpace::rewrite(LaunchSequence &seq) const
     // (stack scalars referenced via ctx.param(&x) and the like).
     std::unordered_map<uint64_t, uint64_t> hostPages;
 
+    // One-entry buffer cache: consecutive events overwhelmingly hit
+    // the same registered buffer, so try the previous match before
+    // paying the binary search.
+    const Buffer *lastBuf = nullptr;
     auto remap = [&](uint64_t addr) -> uint64_t {
+        if (lastBuf && addr - lastBuf->base < lastBuf->bytes)
+            return lastBuf->canonical + (addr - lastBuf->base);
         // Registered buffer: canonical base + offset.
         auto it = std::upper_bound(
             buffers.begin(), buffers.end(), addr,
             [](uint64_t a, const Buffer &x) { return a < x.base; });
         if (it != buffers.begin()) {
             const Buffer &b = *(it - 1);
-            if (addr - b.base < b.bytes)
+            if (addr - b.base < b.bytes) {
+                lastBuf = &b;
                 return b.canonical + (addr - b.base);
+            }
         }
         // Fallback: deterministic page-granular relocation.
         uint64_t page = addr >> 12;

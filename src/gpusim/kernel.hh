@@ -216,6 +216,7 @@ class KernelCtx
 
   private:
     OrderKey currentKey(uint16_t event_pc) const;
+    void recomputeKeyBase();
     void *sharedAlloc(size_t bytes, size_t align, uint64_t &base_addr);
 
     BlockRunner *runner;
@@ -226,6 +227,15 @@ class KernelCtx
     /** Loop path stack: packed (pc << 16) | (iter + 1), outer first. */
     uint32_t loopStack[8];
     int loopDepth = 0;
+
+    // currentKey() runs on every recorded instruction, but the loop-
+    // stack part of the key only changes on pushLoop/popLoop: cache
+    // the folded stack (keyBase) plus where the event PC slots in, so
+    // the per-record cost is an OR instead of rebuilding eight
+    // fields. Defaults encode the empty stack (PC in hi bits 48-63).
+    OrderKey keyBase{};
+    bool pcInHi = true;
+    int pcShift = 48;
 
     std::vector<GEvent> events;
     size_t sharedCursor = 0;

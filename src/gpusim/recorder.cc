@@ -16,6 +16,37 @@ constexpr size_t fiberStackBytes = 128 * 1024;
 constexpr uint64_t sharedBase = 0x10000;
 constexpr uint64_t maxEventsPerLaunch = 80ULL * 1000 * 1000;
 
+/**
+ * Recycles fiber stacks across the blocks of one launch. Blocks run
+ * sequentially, so at most blockDim stacks are live at once; without
+ * the pool every block re-allocates (and re-faults) blockDim x 128 KB
+ * of stack, which dominates recording time for launches with many
+ * blocks.
+ */
+class StackPool
+{
+  public:
+    std::unique_ptr<char[]>
+    get()
+    {
+        if (!free.empty()) {
+            auto s = std::move(free.back());
+            free.pop_back();
+            return s;
+        }
+        return std::make_unique<char[]>(fiberStackBytes);
+    }
+
+    void
+    put(std::unique_ptr<char[]> s)
+    {
+        free.push_back(std::move(s));
+    }
+
+  private:
+    std::vector<std::unique_ptr<char[]>> free;
+};
+
 } // namespace
 
 /**
@@ -26,8 +57,9 @@ class BlockRunner
 {
   public:
     BlockRunner(const LaunchConfig &launch, const Kernel &kernel,
-                int block_idx)
-        : launch(launch), kernel(kernel), blockIdx(block_idx)
+                int block_idx, StackPool &stacks)
+        : launch(launch), kernel(kernel), blockIdx(block_idx),
+          stacks(stacks)
     {
     }
 
@@ -96,6 +128,7 @@ class BlockRunner
     LaunchConfig launch;
     const Kernel &kernel;
     int blockIdx;
+    StackPool &stacks;
 
     ucontext_t schedCtx;
     std::vector<Fiber> fibers;
@@ -128,7 +161,7 @@ BlockRunner::run()
     uint64_t self_bits = uint64_t(uintptr_t(this));
     for (int t = 0; t < n; ++t) {
         Fiber &f = fibers[t];
-        f.stack = std::make_unique<char[]>(fiberStackBytes);
+        f.stack = stacks.get();
         if (getcontext(&f.ctx) != 0)
             panic("getcontext failed");
         f.ctx.uc_stack.ss_sp = f.stack.get();
@@ -166,6 +199,7 @@ BlockRunner::run()
     for (int t = 0; t < n; ++t) {
         eventBudgetUsed += ctxs[t]->events.size();
         rec.lanes.push_back(std::move(ctxs[t]->events));
+        stacks.put(std::move(fibers[t].stack));
     }
     return rec;
 }
@@ -179,20 +213,31 @@ KernelCtx::KernelCtx(BlockRunner *runner, int tid, int block_idx,
 OrderKey
 KernelCtx::currentKey(uint16_t event_pc) const
 {
+    OrderKey k = keyBase;
+    if (pcInHi)
+        k.hi |= uint64_t(event_pc) << pcShift;
+    else
+        k.lo |= uint64_t(event_pc) << pcShift;
+    return k;
+}
+
+void
+KernelCtx::recomputeKeyBase()
+{
     uint16_t f[8] = {0, 0, 0, 0, 0, 0, 0, 0};
     int levels = loopDepth < 3 ? loopDepth : 3;
     for (int i = 0; i < levels; ++i) {
         f[2 * i] = uint16_t(loopStack[i] >> 16);
         f[2 * i + 1] = uint16_t(loopStack[i]);
     }
-    f[2 * levels] = event_pc;
-
-    OrderKey k;
-    k.hi = (uint64_t(f[0]) << 48) | (uint64_t(f[1]) << 32) |
-           (uint64_t(f[2]) << 16) | uint64_t(f[3]);
-    k.lo = (uint64_t(f[4]) << 48) | (uint64_t(f[5]) << 32) |
-           (uint64_t(f[6]) << 16) | uint64_t(f[7]);
-    return k;
+    keyBase.hi = (uint64_t(f[0]) << 48) | (uint64_t(f[1]) << 32) |
+                 (uint64_t(f[2]) << 16) | uint64_t(f[3]);
+    keyBase.lo = (uint64_t(f[4]) << 48) | (uint64_t(f[5]) << 32) |
+                 (uint64_t(f[6]) << 16) | uint64_t(f[7]);
+    // The event PC occupies slot 2*levels of the same layout.
+    int slot = 2 * levels;
+    pcInHi = slot < 4;
+    pcShift = 48 - 16 * (slot & 3);
 }
 
 void
@@ -204,6 +249,7 @@ KernelCtx::pushLoop(uint16_t pc, uint32_t iter)
     if (it > 0xffff)
         it = 0xffff;
     loopStack[loopDepth++] = (uint32_t(pc) << 16) | it;
+    recomputeKeyBase();
 }
 
 void
@@ -212,6 +258,7 @@ KernelCtx::popLoop()
     if (loopDepth <= 0)
         panic("LoopIter pop without push");
     --loopDepth;
+    recomputeKeyBase();
 }
 
 void
@@ -221,7 +268,11 @@ KernelCtx::record(GOp op, Space space, uint64_t addr, uint32_t size,
     OrderKey key = currentKey(packPc(loc));
     if ((op == GOp::IntAlu || op == GOp::FpAlu) && !events.empty()) {
         GEvent &last = events.back();
-        if (last.op == op && last.key == key) {
+        if (last.op == op && last.key == key &&
+            uint64_t(last.count) + count <= 0xffffffffu) {
+            // Merge only while the 32-bit repeat counter has room; a
+            // kernel issuing >4G ALU ops at one site spills into a
+            // fresh event instead of silently wrapping.
             last.count += count;
             return;
         }
@@ -261,9 +312,10 @@ recordKernel(const LaunchConfig &launch, const Kernel &kernel)
     KernelRecording rec;
     rec.launch = launch;
     rec.blocks.reserve(launch.gridDim);
+    StackPool stacks;
     uint64_t budget = 0;
     for (int b = 0; b < launch.gridDim; ++b) {
-        BlockRunner runner(launch, kernel, b);
+        BlockRunner runner(launch, kernel, b, stacks);
         runner.eventBudgetUsed = budget;
         rec.blocks.push_back(runner.run());
         budget = runner.eventBudgetUsed;
@@ -316,6 +368,78 @@ LaunchSequence::memOpsBySpace() const
             out[i] += v[i];
     }
     return out;
+}
+
+namespace {
+
+/**
+ * splitmix64-style word mixer. Recordings run to tens of millions of
+ * events, and byte-at-a-time FNV-1a over them costs seconds per
+ * process; this absorbs a 64-bit word in a handful of ALU ops while
+ * still diffusing every input bit across the state. Deterministic
+ * and platform-independent, which is all the store key needs.
+ */
+inline uint64_t
+mixWord(uint64_t h, uint64_t v)
+{
+    uint64_t x = h + 0x9e3779b97f4a7c15ull + v;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+uint64_t
+contentHash(const KernelRecording &rec)
+{
+    uint64_t h = 0x6a09e667f3bcc908ull; // arbitrary fixed seed
+    h = mixWord(h, uint64_t(rec.launch.gridDim));
+    h = mixWord(h, uint64_t(rec.launch.blockDim));
+    h = mixWord(h, uint64_t(rec.blocks.size()));
+    for (const auto &block : rec.blocks) {
+        h = mixWord(h, uint64_t(block.blockDim));
+        h = mixWord(h, block.sharedBytes);
+        h = mixWord(h, uint64_t(block.lanes.size()));
+        for (const auto &lane : block.lanes) {
+            h = mixWord(h, uint64_t(lane.size()));
+            for (const auto &e : lane) {
+                // Field-by-field (a GEvent has padding bytes whose
+                // contents are unspecified). Two mix rounds per
+                // event, not five: each field is premixed with a
+                // distinct odd multiplier so contributions cannot
+                // cancel by simple XOR alignment, and the full
+                // avalanche runs on the combined words. This loop
+                // hashes tens of millions of events per run, so the
+                // round count is what the recording phase pays.
+                uint64_t w1 =
+                    e.key.hi * 0x9e3779b97f4a7c15ull + e.key.lo;
+                uint64_t w2 =
+                    e.addr +
+                    ((uint64_t(e.size) << 32) |
+                     (uint64_t(e.count) & 0xffffffffu)) *
+                        0xc2b2ae3d27d4eb4full +
+                    ((uint64_t(uint8_t(e.op)) << 8) |
+                     uint64_t(uint8_t(e.space))) *
+                        0xff51afd7ed558ccdull;
+                h = mixWord(mixWord(h, w1), w2);
+            }
+        }
+    }
+    return h;
+}
+
+uint64_t
+contentHash(const LaunchSequence &seq)
+{
+    uint64_t h = mixWord(0x6a09e667f3bcc908ull,
+                         uint64_t(seq.launches.size()));
+    for (const auto &rec : seq.launches)
+        h = mixWord(h, contentHash(rec));
+    return h;
 }
 
 const char *

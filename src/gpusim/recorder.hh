@@ -52,6 +52,19 @@ struct LaunchSequence
     std::vector<uint64_t> memOpsBySpace() const;
 };
 
+/**
+ * Digest over every field that determines simulation output: launch
+ * geometry, per-block shared size, and each lane's full event
+ * stream (order keys, addresses, sizes, counts, op, space).
+ * Recordings are canonical (device addresses are rewritten onto
+ * gpusim::DeviceSpace), so the digest is process-independent; the
+ * driver uses it to content-address stored simulation results.
+ */
+uint64_t contentHash(const KernelRecording &rec);
+
+/** Digest of a whole sequence (folds in every launch's digest). */
+uint64_t contentHash(const LaunchSequence &seq);
+
 } // namespace gpusim
 } // namespace rodinia
 

@@ -1,68 +1,24 @@
 #include "gpusim/replay.hh"
 
 #include "gpusim/recorder.hh"
-#include "support/logging.hh"
 
 namespace rodinia {
 namespace gpusim {
 
 WarpReplayer::WarpReplayer(const BlockRecord &block, int warp_start,
                            int warp_size)
-    : block(&block), start(warp_start)
 {
-    lanes = block.blockDim - warp_start;
+    int lanes = block.blockDim - warp_start;
     if (lanes > warp_size)
         lanes = warp_size;
-    if (lanes < 0)
-        lanes = 0;
-    remaining = 0;
-    for (int l = 0; l < lanes; ++l)
-        remaining += int(block.lanes[start + l].size());
-}
-
-bool
-WarpReplayer::next(WarpInst &out)
-{
-    if (remaining == 0)
-        return false;
-
-    // Find the minimum order key among the lanes' next events.
-    const GEvent *min_ev = nullptr;
     for (int l = 0; l < lanes; ++l) {
-        const auto &trace = block->lanes[start + l];
-        if (cursor[l] >= trace.size())
+        const auto &trace = block.lanes[size_t(warp_start + l)];
+        if (trace.empty())
             continue;
-        const GEvent &e = trace[cursor[l]];
-        if (!min_ev || e.key < min_ev->key)
-            min_ev = &e;
+        cur[size_t(l)] = trace.data();
+        end[size_t(l)] = trace.data() + trace.size();
+        live |= 1u << l;
     }
-    if (!min_ev)
-        panic("WarpReplayer: remaining > 0 but no lane has events");
-
-    out.op = min_ev->op;
-    out.space = min_ev->space;
-    out.size = min_ev->size;
-    out.activeMask = 0;
-    out.count = 1;
-
-    // Gather every lane sitting at the same key and same operation.
-    for (int l = 0; l < lanes; ++l) {
-        const auto &trace = block->lanes[start + l];
-        if (cursor[l] >= trace.size())
-            continue;
-        const GEvent &e = trace[cursor[l]];
-        if (!(e.key == min_ev->key) || e.op != min_ev->op ||
-            e.space != min_ev->space) {
-            continue;
-        }
-        out.activeMask |= 1u << l;
-        out.addrs[l] = e.addr;
-        if (e.count > out.count)
-            out.count = e.count;
-        ++cursor[l];
-        --remaining;
-    }
-    return true;
 }
 
 double

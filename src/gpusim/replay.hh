@@ -51,16 +51,72 @@ class WarpReplayer
     /** Produce the next warp instruction; false when exhausted. */
     bool next(WarpInst &out);
 
-    /** Total warp instructions remaining untouched by next(). */
-    bool done() const { return remaining == 0; }
+    /** True once every lane's trace is exhausted. */
+    bool done() const { return live == 0; }
 
   private:
-    const BlockRecord *block;
-    int start;
-    int lanes;
-    std::array<uint32_t, 32> cursor{};
-    int remaining;
+    // Per-lane [cur, end) windows into the block's lane vectors (the
+    // recording is immutable, so the pointers stay valid), plus a
+    // bitmask of lanes with events left. next() runs once per warp
+    // instruction on the hot simulation path, so its two lane scans
+    // walk only the set bits of `live` instead of re-chasing the
+    // nested vectors for all 32 lanes each time.
+    std::array<const GEvent *, 32> cur{};
+    std::array<const GEvent *, 32> end{};
+    uint32_t live = 0;
 };
+
+// Defined inline: this runs once per warp instruction inside the
+// timing-simulation issue loop — the hottest call in the whole
+// experiment pipeline — and inlining it there is worth several
+// percent of end-to-end runtime.
+inline bool
+WarpReplayer::next(WarpInst &out)
+{
+    if (live == 0)
+        return false;
+
+    // Single fused scan: track the running-minimum key and gather the
+    // matching lanes as we go; a lane with a strictly smaller key
+    // restarts the gather (rare — warps mostly run in lockstep).
+    // Lanes are scanned in ascending order, so the instruction's
+    // op/space come from the lowest lane at the minimum key, exactly
+    // as the two-pass find-then-gather formulation would produce.
+    // Lanes whose key matches but whose op/space differ are neither
+    // gathered nor advanced. A restart can leave stale addrs entries
+    // for lanes outside the final activeMask; every consumer masks
+    // addrs reads by activeMask, so those slots are dead.
+    const GEvent *min_ev = nullptr;
+    out.activeMask = 0;
+    out.count = 1;
+    for (uint32_t m = live; m; m &= m - 1) {
+        int l = __builtin_ctz(m);
+        const GEvent &e = *cur[std::size_t(l)];
+        if (!min_ev || e.key < min_ev->key) {
+            min_ev = &e;
+            out.op = e.op;
+            out.space = e.space;
+            out.size = e.size;
+            out.activeMask = 0;
+            out.count = 1;
+        } else if (!(e.key == min_ev->key) || e.op != min_ev->op ||
+                   e.space != min_ev->space) {
+            continue;
+        }
+        out.activeMask |= 1u << l;
+        out.addrs[std::size_t(l)] = e.addr;
+        if (e.count > out.count)
+            out.count = e.count;
+    }
+
+    // Consume the gathered lanes' events.
+    for (uint32_t m = out.activeMask; m; m &= m - 1) {
+        int l = __builtin_ctz(m);
+        if (++cur[std::size_t(l)] == end[std::size_t(l)])
+            live &= ~(1u << l);
+    }
+    return true;
+}
 
 /** Number of warps needed for a block of the given size. */
 inline int

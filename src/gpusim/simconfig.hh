@@ -14,6 +14,7 @@
 #define RODINIA_GPUSIM_SIMCONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 namespace rodinia {
 namespace gpusim {
@@ -73,6 +74,23 @@ struct SimConfig
     uint64_t l2Bytes = 768 * 1024;
     int l2LineBytes = 128;
     int l2HitLatency = 130;
+
+    /**
+     * Fail fast (fatal) on geometry that would make the timing model
+     * simulate nonsense: zero/negative shader, channel, warp or bank
+     * counts, non-power-of-two line and transaction sizes, non-
+     * positive clocks, or a Fermi configuration whose L1 + shared
+     * split does not add up to the 64 kB configurable SM memory.
+     */
+    void validate() const;
+
+    /**
+     * Canonical, stable serialization of every field. Two configs
+     * produce equal fingerprints iff every architectural parameter
+     * is equal, so the fingerprint keys memoized and store-cached
+     * simulation results (see driver::Context::gpuStats).
+     */
+    std::string fingerprint() const;
 
     /** Issue cycles per warp instruction (warpSize / simdWidth). */
     int

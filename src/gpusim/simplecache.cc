@@ -16,6 +16,9 @@ SimpleCache::SimpleCache(uint64_t size_bytes, int assoc, int line_bytes)
     // Round down to a power of two for cheap indexing.
     while (numSets & (numSets - 1))
         numSets &= numSets - 1;
+    setShift = __builtin_ctzll(numSets);
+    lineShift = (line & (line - 1)) == 0 ? __builtin_ctz(unsigned(line))
+                                         : -1;
     entries.resize(numSets * assoc);
 }
 
@@ -23,9 +26,10 @@ bool
 SimpleCache::access(uint64_t addr)
 {
     ++clock;
-    uint64_t line_addr = addr / uint64_t(line);
+    uint64_t line_addr =
+        lineShift >= 0 ? addr >> lineShift : addr / uint64_t(line);
     uint64_t set = line_addr & (numSets - 1);
-    uint64_t tag = line_addr / numSets;
+    uint64_t tag = line_addr >> setShift;
     Entry *base = &entries[set * assoc];
 
     for (int w = 0; w < assoc; ++w) {

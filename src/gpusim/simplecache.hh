@@ -37,6 +37,8 @@ class SimpleCache
 
     int assoc;
     int line;
+    int lineShift = -1; //!< log2(line) when a power of two, else -1
+    int setShift = 0;   //!< log2(numSets); numSets is always a power of two
     uint64_t numSets;
     std::vector<Entry> entries;
     uint64_t clock = 0;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <deque>
+#include <iomanip>
+#include <limits>
 #include <memory>
 #include <queue>
+#include <sstream>
 #include <vector>
 
 #include "gpusim/replay.hh"
@@ -37,6 +40,75 @@ KernelStats::add(const KernelStats &o)
     constMisses += o.constMisses;
     numChannels = o.numChannels;
     coreClockGhz = o.coreClockGhz;
+}
+
+bool
+KernelStats::operator==(const KernelStats &o) const
+{
+    return cycles == o.cycles &&
+           threadInstructions == o.threadInstructions &&
+           warpInstructions == o.warpInstructions &&
+           occupancyBuckets == o.occupancyBuckets &&
+           memOps == o.memOps &&
+           dramTransactions == o.dramTransactions &&
+           dramBytes == o.dramBytes &&
+           channelBusyCycles == o.channelBusyCycles &&
+           bankConflictExtraCycles == o.bankConflictExtraCycles &&
+           l1Hits == o.l1Hits && l1Misses == o.l1Misses &&
+           l2Hits == o.l2Hits && l2Misses == o.l2Misses &&
+           texHits == o.texHits && texMisses == o.texMisses &&
+           constHits == o.constHits && constMisses == o.constMisses &&
+           numChannels == o.numChannels &&
+           coreClockGhz == o.coreClockGhz;
+}
+
+std::string
+serializeKernelStats(const KernelStats &s)
+{
+    std::ostringstream os;
+    os << "gpustats 1\n"
+       << s.cycles << " " << s.threadInstructions << " "
+       << s.warpInstructions << "\n";
+    for (size_t i = 0; i < s.occupancyBuckets.size(); ++i)
+        os << (i ? " " : "") << s.occupancyBuckets[i];
+    os << "\n";
+    for (size_t i = 0; i < s.memOps.size(); ++i)
+        os << (i ? " " : "") << s.memOps[i];
+    os << "\n"
+       << s.dramTransactions << " " << s.dramBytes << " "
+       << s.channelBusyCycles << " " << s.bankConflictExtraCycles
+       << "\n"
+       << s.l1Hits << " " << s.l1Misses << " " << s.l2Hits << " "
+       << s.l2Misses << " " << s.texHits << " " << s.texMisses << " "
+       << s.constHits << " " << s.constMisses << "\n"
+       << s.numChannels << " "
+       << std::setprecision(std::numeric_limits<double>::max_digits10)
+       << s.coreClockGhz << "\n";
+    return os.str();
+}
+
+bool
+parseKernelStats(const std::string &payload, KernelStats &out)
+{
+    std::istringstream in(payload);
+    std::string tag;
+    int version = 0;
+    in >> tag >> version;
+    if (tag != "gpustats" || version != 1)
+        return false;
+    in >> out.cycles >> out.threadInstructions >>
+        out.warpInstructions;
+    for (auto &b : out.occupancyBuckets)
+        in >> b;
+    for (auto &m : out.memOps)
+        in >> m;
+    in >> out.dramTransactions >> out.dramBytes >>
+        out.channelBusyCycles >> out.bankConflictExtraCycles;
+    in >> out.l1Hits >> out.l1Misses >> out.l2Hits >> out.l2Misses >>
+        out.texHits >> out.texMisses >> out.constHits >>
+        out.constMisses;
+    in >> out.numChannels >> out.coreClockGhz;
+    return bool(in);
 }
 
 namespace {
@@ -128,30 +200,57 @@ class Engine
             l2 = std::make_unique<SimpleCache>(cfg.l2Bytes, 16,
                                                cfg.l2LineBytes);
         chFree.assign(cfg.numChannels, 0);
+        bankMask = (cfg.sharedBanks & (cfg.sharedBanks - 1)) == 0
+                       ? uint64_t(cfg.sharedBanks) - 1
+                       : 0;
+        chanMask = (cfg.numChannels & (cfg.numChannels - 1)) == 0
+                       ? uint64_t(cfg.numChannels) - 1
+                       : 0;
+        coalShift = __builtin_ctz(unsigned(cfg.coalesceBytes));
 
         blocksRemaining = int(rec.blocks.size());
         for (int s = 0; s < cfg.numSms && nextBlock < rec.blocks.size();
              ++s)
             placeBlocks(s, 0);
 
+        // smNext[s] is a conservative lower bound on the next cycle
+        // at which SM s can make progress; the per-cycle scan skips
+        // an SM with one dense-array compare instead of touching its
+        // queues. Deferring the waiting->ready drain this way cannot
+        // change results: entries drain in (wake, seq) heap order
+        // whether moved cycle-by-cycle or in one batch, and issue
+        // itself only ever happens at cycles the bound admits. Only
+        // the SM an issue runs on can gain work (barrier release and
+        // block placement are SM-local), so recomputing the bound
+        // after visiting that SM keeps it valid.
+        smNext.assign(size_t(cfg.numSms), 0);
         uint64_t cycle = 0;
         while (blocksRemaining > 0) {
             bool issued = false;
             for (int s = 0; s < cfg.numSms; ++s) {
+                if (smNext[size_t(s)] > cycle)
+                    continue;
                 Sm &sm = sms[s];
                 while (!sm.waiting.empty() &&
                        sm.waiting.top().wake <= cycle) {
                     sm.ready.push_back(sm.waiting.top().warp);
                     sm.waiting.pop();
                 }
-                if (cycle < sm.freeCycle || sm.ready.empty())
-                    continue;
-                Warp *w = sm.ready.front();
-                sm.ready.pop_front();
-                issue(s, *w, cycle);
-                issued = true;
-                if (blocksRemaining == 0)
-                    break;
+                if (cycle >= sm.freeCycle && !sm.ready.empty()) {
+                    Warp *w = sm.ready.front();
+                    sm.ready.pop_front();
+                    issue(s, *w, cycle);
+                    issued = true;
+                    if (blocksRemaining == 0)
+                        break;
+                }
+                smNext[size_t(s)] =
+                    !sm.ready.empty()
+                        ? std::max(sm.freeCycle, cycle + 1)
+                        : (!sm.waiting.empty()
+                               ? std::max(sm.waiting.top().wake,
+                                          cycle + 1)
+                               : ~0ULL);
             }
             if (blocksRemaining == 0)
                 break;
@@ -161,15 +260,8 @@ class Engine
             }
             // Nothing issued: jump to the next interesting cycle.
             uint64_t next = ~0ULL;
-            for (auto &sm : sms) {
-                if (!sm.ready.empty())
-                    next = std::min(next, std::max(cycle + 1,
-                                                   sm.freeCycle));
-                if (!sm.waiting.empty())
-                    next = std::min(next,
-                                    std::max(cycle + 1,
-                                             sm.waiting.top().wake));
-            }
+            for (uint64_t lb : smNext)
+                next = std::min(next, std::max(cycle + 1, lb));
             if (next == ~0ULL)
                 panic("gpusim deadlock: no runnable warps but ",
                       blocksRemaining, " blocks remain");
@@ -252,7 +344,8 @@ class Engine
             }
             ++stats.l2Misses;
         }
-        int ch = int((addr >> 8) % uint64_t(cfg.numChannels));
+        int ch = chanMask ? int((addr >> 8) & chanMask)
+                          : int((addr >> 8) % uint64_t(cfg.numChannels));
         uint64_t svc = cfg.channelServiceCycles();
         uint64_t start = std::max(cycle, chFree[ch]);
         chFree[ch] = start + svc;
@@ -266,15 +359,19 @@ class Engine
     void
     coalesce(const WarpInst &inst, std::vector<uint64_t> &out) const
     {
+        // coalesceBytes is validated power-of-two, so segment math is
+        // shifts rather than 64-bit division on this per-memory-
+        // instruction path.
         out.clear();
         for (int l = 0; l < 32; ++l) {
             if (!(inst.activeMask & (1u << l)))
                 continue;
-            uint64_t first = inst.addrs[l] / cfg.coalesceBytes;
-            uint64_t last = (inst.addrs[l] + std::max(inst.size, 1u) - 1) /
-                            cfg.coalesceBytes;
+            uint64_t first = inst.addrs[l] >> coalShift;
+            uint64_t last =
+                (inst.addrs[l] + std::max(inst.size, 1u) - 1) >>
+                coalShift;
             for (uint64_t s = first; s <= last; ++s) {
-                uint64_t seg = s * cfg.coalesceBytes;
+                uint64_t seg = s << coalShift;
                 if (std::find(out.begin(), out.end(), seg) == out.end())
                     out.push_back(seg);
             }
@@ -288,20 +385,38 @@ class Engine
         if (!cfg.bankConflictsEnabled)
             return 1;
         // Words mapping to the same bank serialize; identical words
-        // broadcast. Count distinct words per bank.
+        // broadcast. This runs once per shared-memory warp
+        // instruction — the hot path of NW/LUD/HS simulations — so
+        // it scans fixed stack arrays (at most 32 entries) instead
+        // of allocating per-bank containers, and divides only when
+        // the bank count is not a power of two.
+        uint64_t seenWord[32];
+        int seenBank[32];
+        int n = 0;
         int factor = 1;
-        std::array<std::vector<uint64_t>, 32> perBank;
         for (int l = 0; l < 32; ++l) {
             if (!(inst.activeMask & (1u << l)))
                 continue;
             uint64_t word = inst.addrs[l] >> 2;
-            int bank = int(word % uint64_t(cfg.sharedBanks));
-            auto &v = perBank[bank];
-            if (std::find(v.begin(), v.end(), word) == v.end())
-                v.push_back(word);
+            int bank = bankMask ? int(word & bankMask)
+                                : int(word % uint64_t(cfg.sharedBanks));
+            bool dup = false;
+            int multiplicity = 1;
+            for (int i = 0; i < n; ++i) {
+                if (seenWord[i] == word) {
+                    dup = true; // broadcast: no extra cost
+                    break;
+                }
+                if (seenBank[i] == bank)
+                    ++multiplicity;
+            }
+            if (dup)
+                continue;
+            seenWord[n] = word;
+            seenBank[n] = bank;
+            ++n;
+            factor = std::max(factor, multiplicity);
         }
-        for (const auto &v : perBank)
-            factor = std::max(factor, int(v.size()));
         return factor;
     }
 
@@ -341,7 +456,10 @@ class Engine
     issue(int sm_index, Warp &w, uint64_t cycle)
     {
         Sm &sm = sms[sm_index];
-        const WarpInst inst = w.inst;
+        // Reference, not copy (WarpInst carries 32 lane addresses):
+        // every read below happens before w.rep.next(w.inst)
+        // overwrites the slot at the end of issue.
+        const WarpInst &inst = w.inst;
         const int active = inst.activeLanes();
         const int issueC = cfg.warpIssueCycles();
 
@@ -480,6 +598,22 @@ class Engine
             finishWarp(sm_index, w, cycle);
             return;
         }
+        // Heap bypass for stall-bound instructions (ALU, shared,
+        // cache-hit constant): when the warp wakes no later than the
+        // SM's own issue stall, the SM cannot issue before `wake`, so
+        // every future push on this SM carries a strictly larger wake
+        // (freeCycle is monotone and wake' > cycle' >= freeCycle).
+        // If every already-parked warp also wakes strictly later,
+        // the (wake, seq) drain would deliver this warp exactly at
+        // the back of the current ready queue — append it there
+        // directly and skip the priority-queue round trip. An equal
+        // top wake means an older (smaller-seq) warp must go first,
+        // so that case takes the heap path.
+        if (wake <= sm.freeCycle &&
+            (sm.waiting.empty() || sm.waiting.top().wake > wake)) {
+            sm.ready.push_back(&w);
+            return;
+        }
         sm.waiting.push({std::max(wake, cycle + 1), seq++, &w});
     }
 
@@ -492,6 +626,10 @@ class Engine
     std::unique_ptr<SimpleCache> l2;
     std::vector<uint64_t> chFree;
     std::vector<uint64_t> scratch;
+    std::vector<uint64_t> smNext; //!< per-SM next-progress lower bound
+    uint64_t bankMask = 0; //!< sharedBanks-1 when a power of two
+    uint64_t chanMask = 0; //!< numChannels-1 when a power of two
+    int coalShift = 0;     //!< log2(coalesceBytes)
     size_t nextBlock = 0;
     int blocksRemaining = 0;
     uint64_t seq = 0;

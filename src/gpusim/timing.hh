@@ -21,6 +21,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "gpusim/recorder.hh"
 #include "gpusim/simconfig.hh"
@@ -79,13 +80,33 @@ struct KernelStats
 
     /** Aggregate another launch's stats (cycles accumulate). */
     void add(const KernelStats &o);
+
+    bool operator==(const KernelStats &o) const;
 };
+
+/**
+ * Serialize stats to the result-store payload format. The payload
+ * is a pure function of the field values (doubles print with
+ * max_digits10 precision, which round-trips exactly), so identical
+ * simulations publish identical bytes from any process.
+ */
+std::string serializeKernelStats(const KernelStats &s);
+
+/**
+ * Parse a store payload back into stats.
+ * @return false if the payload is malformed (treated as a miss)
+ */
+bool parseKernelStats(const std::string &payload, KernelStats &out);
 
 /** Simulates recorded kernels under one architectural configuration. */
 class TimingSim
 {
   public:
-    explicit TimingSim(const SimConfig &config) : cfg(config) {}
+    /** Validates the configuration up front (fatal on nonsense). */
+    explicit TimingSim(const SimConfig &config) : cfg(config)
+    {
+        cfg.validate();
+    }
 
     /** Simulate one kernel launch. */
     KernelStats simulate(const KernelRecording &rec) const;

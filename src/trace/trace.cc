@@ -152,17 +152,29 @@ TraceSession::normalizeAddresses()
     };
     std::unordered_map<uint64_t, PageMap> pages;
     constexpr uint64_t basePage = uint64_t(1) << 20; // 4 GB mark
+    // One-entry lookup cache: traces have strong page locality, so
+    // most events skip the hash probe. unordered_map values are
+    // node-stable under insertion, so the cached pointer survives
+    // later try_emplace calls.
+    uint64_t lastPage = ~uint64_t(0);
+    PageMap *lastPm = nullptr;
     auto canonical = [&](uint64_t addr) {
-        auto [it, fresh] = pages.try_emplace(addr >> 12);
-        PageMap &pm = it->second;
-        if (fresh) {
-            pm.vpage = basePage + pages.size() - 1;
-            pm.slot.fill(-1);
+        uint64_t page = addr >> 12;
+        PageMap *pm = lastPm;
+        if (page != lastPage) {
+            auto [it, fresh] = pages.try_emplace(page);
+            pm = &it->second;
+            if (fresh) {
+                pm->vpage = basePage + pages.size() - 1;
+                pm->slot.fill(-1);
+            }
+            lastPage = page;
+            lastPm = pm;
         }
         size_t lineIdx = (addr >> 6) & 63;
-        if (pm.slot[lineIdx] < 0)
-            pm.slot[lineIdx] = pm.nextSlot++;
-        return (pm.vpage << 12) | (uint64_t(pm.slot[lineIdx]) << 6);
+        if (pm->slot[lineIdx] < 0)
+            pm->slot[lineIdx] = pm->nextSlot++;
+        return (pm->vpage << 12) | (uint64_t(pm->slot[lineIdx]) << 6);
     };
     forEachInterleaved(
         [&](int, const MemEvent &e) { canonical(e.addr); });

@@ -188,8 +188,20 @@ class ThreadCtx
     void
     touchSite(const std::source_location &loc)
     {
-        uint64_t key = std::hash<std::string_view>{}(loc.file_name());
-        key ^= (uint64_t(loc.line()) << 12) ^ loc.column();
+        // One-entry site cache: a tight instrumented loop touches the
+        // same source location on every iteration, so compare the
+        // (stable) file-name pointer and line/column first and skip
+        // the string hash + set probe on a repeat. The set contents
+        // are unchanged — the skipped key was inserted by the
+        // previous call.
+        const char *file = loc.file_name();
+        uint64_t lc = (uint64_t(loc.line()) << 12) ^ loc.column();
+        if (file == lastSiteFile && lc == lastSiteLc)
+            return;
+        lastSiteFile = file;
+        lastSiteLc = lc;
+        uint64_t key = std::hash<std::string_view>{}(file);
+        key ^= lc;
         siteSet.insert(key);
     }
 
@@ -200,6 +212,8 @@ class ThreadCtx
     std::vector<MemEvent> memTrace;
     std::unordered_set<uint64_t> siteSet;
     std::unordered_map<uint64_t, uint64_t> regionMap;
+    const char *lastSiteFile = nullptr;
+    uint64_t lastSiteLc = 0;
 
     friend class TraceSession;
 };

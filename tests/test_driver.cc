@@ -502,3 +502,153 @@ TEST(Context, ParallelFigureMatchesSerialFigure)
     EXPECT_FALSE(serialText.empty());
     EXPECT_EQ(serialText, pooledText);
 }
+
+// ---------------------------------------------------------------
+// Context::gpuStats (memoized, store-backed timing simulation)
+// ---------------------------------------------------------------
+
+TEST(GpuStats, MemoizesWithinAProcessAndCachesAcrossProcesses)
+{
+    ScratchDir scratch("gpustats");
+    gpusim::SimConfig cfg = gpusim::SimConfig::shaders(4);
+
+    gpusim::KernelStats first;
+    {
+        ResultStore store(scratch.dir());
+        driver::Context ctx(&store);
+        const auto &a =
+            ctx.gpuStats("kmeans", core::Scale::Tiny, 0, cfg);
+        const auto &b =
+            ctx.gpuStats("kmeans", core::Scale::Tiny, 0, cfg);
+        EXPECT_EQ(&a, &b); // memoized, not re-simulated
+        EXPECT_GT(a.cycles, 0u);
+        EXPECT_EQ(ctx.gpuStatsStoreHits(), 0u);
+        EXPECT_EQ(ctx.gpuSimTelemetrySnapshot().size(), 1u);
+        first = a;
+    }
+
+    // A fresh context on the same store must serve the stats from
+    // disk — zero simulations — and reproduce them byte for byte.
+    ResultStore store(scratch.dir());
+    driver::Context ctx2(&store);
+    const auto &reloaded =
+        ctx2.gpuStats("kmeans", core::Scale::Tiny, 0, cfg);
+    EXPECT_EQ(ctx2.gpuStatsStoreHits(), 1u);
+    EXPECT_TRUE(ctx2.gpuSimTelemetrySnapshot().empty());
+    EXPECT_TRUE(reloaded == first);
+    EXPECT_EQ(gpusim::serializeKernelStats(reloaded),
+              gpusim::serializeKernelStats(first));
+}
+
+TEST(GpuStats, DistinctConfigsSimulateSeparately)
+{
+    driver::Context ctx; // no store: pure memoization
+    const auto &sa = ctx.gpuStats("kmeans", core::Scale::Tiny, 0,
+                                  gpusim::SimConfig::shaders(4));
+    const auto &sb = ctx.gpuStats("kmeans", core::Scale::Tiny, 0,
+                                  gpusim::SimConfig::shaders(8));
+    EXPECT_NE(&sa, &sb); // different fingerprint, different entry
+    EXPECT_GT(sa.cycles, 0u);
+    EXPECT_GT(sb.cycles, 0u);
+    EXPECT_LE(sb.cycles, sa.cycles); // more shaders never slower
+    EXPECT_EQ(ctx.gpuSimTelemetrySnapshot().size(), 2u);
+}
+
+TEST(Context, GpuFigureIsByteIdenticalColdVersusWarm)
+{
+    ScratchDir scratch("figwarm");
+    const auto *def = driver::findFigure("ablation_coalesce");
+    ASSERT_NE(def, nullptr);
+
+    std::string cold;
+    {
+        ResultStore store(scratch.dir());
+        driver::Context ctx(&store);
+        cold = def->build(ctx);
+        EXPECT_EQ(ctx.gpuStatsStoreHits(), 0u);
+        EXPECT_FALSE(ctx.gpuSimTelemetrySnapshot().empty());
+    }
+
+    // Warm rerun in a new process-equivalent (fresh Context), with a
+    // worker pool for good measure: every simulation must come from
+    // the store and the rendered figure must not change by a byte.
+    ResultStore store(scratch.dir());
+    Executor ex(4);
+    driver::Context ctx(&store, &ex);
+    std::string warm = def->build(ctx);
+    EXPECT_EQ(warm, cold);
+    EXPECT_GT(ctx.gpuStatsStoreHits(), 0u);
+    EXPECT_TRUE(ctx.gpuSimTelemetrySnapshot().empty());
+}
+
+// ---------------------------------------------------------------
+// ParallelGpuSim: concurrent timing simulations over one recording
+// ---------------------------------------------------------------
+
+namespace {
+
+/**
+ * Hand-built recording (no fiber-based recorder involved, so the
+ * test is meaningful under TSan): every lane issues alternating
+ * FP-ALU and strided global-load events with strictly increasing
+ * order keys.
+ */
+gpusim::KernelRecording
+syntheticRecording(int blocks, int block_dim, int events_per_lane)
+{
+    gpusim::KernelRecording rec;
+    rec.launch.gridDim = blocks;
+    rec.launch.blockDim = block_dim;
+    rec.blocks.resize(size_t(blocks));
+    for (int b = 0; b < blocks; ++b) {
+        auto &block = rec.blocks[size_t(b)];
+        block.blockDim = block_dim;
+        block.lanes.resize(size_t(block_dim));
+        for (int l = 0; l < block_dim; ++l) {
+            auto &lane = block.lanes[size_t(l)];
+            for (int e = 0; e < events_per_lane; ++e) {
+                gpusim::GEvent ev;
+                ev.key.hi = uint64_t(e + 1) << 48; // event "PC"
+                if (e % 2 == 0) {
+                    ev.op = gpusim::GOp::FpAlu;
+                } else {
+                    ev.op = gpusim::GOp::Load;
+                    ev.space = gpusim::Space::Global;
+                    ev.size = 4;
+                    ev.addr = uint64_t(b * block_dim + l) * 4 +
+                              uint64_t(e) * 8192;
+                }
+                lane.push_back(ev);
+            }
+        }
+    }
+    return rec;
+}
+
+} // namespace
+
+TEST(ParallelGpuSim, ConcurrentSimulationsMatchSerial)
+{
+    auto rec = syntheticRecording(8, 64, 16);
+    std::vector<gpusim::SimConfig> cfgs;
+    for (int sms : {2, 4, 8, 16})
+        cfgs.push_back(gpusim::SimConfig::shaders(sms));
+    cfgs.push_back(gpusim::SimConfig::gtx280());
+    cfgs.push_back(gpusim::SimConfig::gtx480(true));
+
+    std::vector<gpusim::KernelStats> serial;
+    for (const auto &c : cfgs)
+        serial.push_back(gpusim::TimingSim(c).simulate(rec));
+
+    // The same simulations fanned across a pool, all reading the one
+    // shared recording, each writing its own slot — the exact shape
+    // Context::gpuStats runs under figure jobs.
+    Executor ex(4);
+    std::vector<gpusim::KernelStats> pooled(cfgs.size());
+    ex.parallelFor(cfgs.size(), [&](size_t i) {
+        pooled[i] = gpusim::TimingSim(cfgs[i]).simulate(rec);
+    });
+
+    for (size_t i = 0; i < cfgs.size(); ++i)
+        EXPECT_TRUE(pooled[i] == serial[i]) << "config " << i;
+}

@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
 #include "gpusim/recorder.hh"
 #include "gpusim/replay.hh"
 #include "gpusim/simplecache.hh"
@@ -469,4 +474,187 @@ TEST(Timing, CtaLimitsReduceLatencyHiding)
     auto ssmall = TimingSim(cfg).simulate(small);
     auto sbig = TimingSim(cfg).simulate(big);
     EXPECT_GT(double(sbig.cycles), 1.2 * double(ssmall.cycles));
+}
+
+// ---------------------------------------------------------------
+// SimConfig validation and fingerprinting
+// ---------------------------------------------------------------
+
+TEST(SimConfigDeath, RejectsDegenerateGeometry)
+{
+    SimConfig zero_sms;
+    zero_sms.numSms = 0;
+    EXPECT_DEATH(zero_sms.validate(), "numSms");
+
+    SimConfig zero_channels;
+    zero_channels.numChannels = 0;
+    EXPECT_DEATH(zero_channels.validate(), "numChannels");
+
+    SimConfig zero_warp;
+    zero_warp.warpSize = 0;
+    EXPECT_DEATH(zero_warp.validate(), "warpSize");
+
+    SimConfig ragged_issue;
+    ragged_issue.simdWidth = 24; // 32 % 24 != 0
+    EXPECT_DEATH(ragged_issue.validate(), "multiple of simdWidth");
+
+    SimConfig odd_coalesce;
+    odd_coalesce.coalesceBytes = 48;
+    EXPECT_DEATH(odd_coalesce.validate(), "coalesceBytes");
+
+    SimConfig odd_l1_line = SimConfig::gtx480(true);
+    odd_l1_line.l1LineBytes = 96;
+    EXPECT_DEATH(odd_l1_line.validate(), "l1LineBytes");
+
+    SimConfig odd_l2_line = SimConfig::gtx480(false);
+    odd_l2_line.l2LineBytes = 200;
+    EXPECT_DEATH(odd_l2_line.validate(), "l2LineBytes");
+
+    SimConfig bad_split = SimConfig::gtx480(true);
+    bad_split.sharedMemPerSm = 32 * 1024; // 48 + 32 != 64 kB
+    EXPECT_DEATH(bad_split.validate(), "Fermi split");
+
+    SimConfig zero_clock;
+    zero_clock.memClockGhz = 0.0;
+    EXPECT_DEATH(zero_clock.validate(), "clocks");
+}
+
+TEST(SimConfig, EveryPresetValidates)
+{
+    SimConfig::gpgpusimDefault().validate();
+    SimConfig::shaders(8).validate();
+    SimConfig::gtx280().validate();
+    SimConfig::gtx480(true).validate();
+    SimConfig::gtx480(false).validate();
+}
+
+TEST(SimConfig, FingerprintCoversEveryField)
+{
+    // Equal configs fingerprint equally...
+    EXPECT_EQ(SimConfig().fingerprint(),
+              SimConfig::gpgpusimDefault().fingerprint());
+
+    // ...and flipping any single architectural parameter changes the
+    // fingerprint (the store key must never alias two different
+    // machines). One mutation per SimConfig field.
+    const std::vector<std::function<void(SimConfig &)>> mutations = {
+        [](SimConfig &c) { c.numSms = 29; },
+        [](SimConfig &c) { c.warpSize = 16; },
+        [](SimConfig &c) { c.simdWidth = 8; },
+        [](SimConfig &c) { c.maxThreadsPerSm = 768; },
+        [](SimConfig &c) { c.maxCtasPerSm = 4; },
+        [](SimConfig &c) { c.regFileSize = 32768; },
+        [](SimConfig &c) { c.regsPerThread = 20; },
+        [](SimConfig &c) { c.sharedMemPerSm = 48 * 1024; },
+        [](SimConfig &c) { c.bankConflictsEnabled = false; },
+        [](SimConfig &c) { c.sharedBanks = 32; },
+        [](SimConfig &c) { c.coreClockGhz = 1.5; },
+        [](SimConfig &c) { c.memClockGhz = 2.4; },
+        [](SimConfig &c) { c.addressAluPerMem = 2; },
+        [](SimConfig &c) { c.numChannels = 6; },
+        [](SimConfig &c) { c.dramBusBytes = 8; },
+        [](SimConfig &c) { c.coalesceBytes = 128; },
+        [](SimConfig &c) { c.gmemLatencyCycles = 400; },
+        [](SimConfig &c) { c.launchOverheadCycles = 700; },
+        [](SimConfig &c) { c.texCacheBytes = 32 * 1024; },
+        [](SimConfig &c) { c.constCacheBytes = 16 * 1024; },
+        [](SimConfig &c) { c.texHitLatency = 20; },
+        [](SimConfig &c) { c.constHitLatency = 6; },
+        [](SimConfig &c) { c.l1Enabled = true; },
+        [](SimConfig &c) { c.l1Bytes = 48 * 1024; },
+        [](SimConfig &c) { c.l1LineBytes = 64; },
+        [](SimConfig &c) { c.l1HitLatency = 30; },
+        [](SimConfig &c) { c.l2Enabled = true; },
+        [](SimConfig &c) { c.l2Bytes = 512 * 1024; },
+        [](SimConfig &c) { c.l2LineBytes = 64; },
+        [](SimConfig &c) { c.l2HitLatency = 120; },
+    };
+    std::set<std::string> prints;
+    prints.insert(SimConfig().fingerprint());
+    for (size_t i = 0; i < mutations.size(); ++i) {
+        SimConfig c;
+        mutations[i](c);
+        EXPECT_TRUE(prints.insert(c.fingerprint()).second)
+            << "mutation " << i << " did not change the fingerprint";
+    }
+}
+
+// ---------------------------------------------------------------
+// KernelStats serialization and merging
+// ---------------------------------------------------------------
+
+TEST(KernelStats, SerializeParseRoundTrip)
+{
+    KernelStats s;
+    s.cycles = 0x123456789abcdefull; // > 2^32: payload must be 64-bit
+    s.threadInstructions = 987654321098ull;
+    s.warpInstructions = 30864197534ull;
+    s.occupancyBuckets = {1, 2, 3, 4};
+    s.memOps = {5, 6, 7, 8, 9, 10, 11};
+    s.dramTransactions = 12;
+    s.dramBytes = 13;
+    s.channelBusyCycles = 14;
+    s.bankConflictExtraCycles = 15;
+    s.l1Hits = 16;
+    s.l1Misses = 17;
+    s.l2Hits = 18;
+    s.l2Misses = 19;
+    s.texHits = 20;
+    s.texMisses = 21;
+    s.constHits = 22;
+    s.constMisses = 23;
+    s.numChannels = 6;
+    s.coreClockGhz = 1.4; // not exactly representable: needs
+                          // max_digits10 to round-trip
+
+    KernelStats out;
+    ASSERT_TRUE(parseKernelStats(serializeKernelStats(s), out));
+    EXPECT_TRUE(s == out);
+    EXPECT_EQ(serializeKernelStats(out), serializeKernelStats(s));
+}
+
+TEST(KernelStats, ParseRejectsMalformedPayloads)
+{
+    KernelStats out;
+    EXPECT_FALSE(parseKernelStats("", out));
+    EXPECT_FALSE(parseKernelStats("cpuchar 1\n", out));
+    EXPECT_FALSE(parseKernelStats("gpustats 2\n", out)); // bad version
+    EXPECT_FALSE(parseKernelStats("gpustats 1\n1 2\n", out)); // truncated
+}
+
+TEST(KernelStats, SimulatedStatsRoundTripThroughPayload)
+{
+    auto rec = computeKernel(8, 64, 32);
+    KernelStats s = TimingSim(SimConfig::shaders(4)).simulate(rec);
+    KernelStats out;
+    ASSERT_TRUE(parseKernelStats(serializeKernelStats(s), out));
+    EXPECT_TRUE(s == out);
+}
+
+TEST(KernelStats, MergeIsAssociative)
+{
+    // Launch-sequence aggregation folds left; result assembly in the
+    // parallel driver may fold in slot order. Both must agree, so
+    // add() has to be associative — including the "last launch wins"
+    // config fields (numChannels, coreClockGhz).
+    std::vector<float> data(1 << 12);
+    KernelStats a = TimingSim(SimConfig::shaders(4))
+                        .simulate(computeKernel(8, 64, 32));
+    KernelStats b = TimingSim(SimConfig::gtx280())
+                        .simulate(streamKernel(data, 4, 64, 4));
+    KernelStats c = TimingSim(SimConfig::gtx480(true))
+                        .simulate(computeKernel(2, 32, 8));
+
+    KernelStats ab = a;
+    ab.add(b);
+    KernelStats ab_c = ab;
+    ab_c.add(c);
+
+    KernelStats bc = b;
+    bc.add(c);
+    KernelStats a_bc = a;
+    a_bc.add(bc);
+
+    EXPECT_TRUE(ab_c == a_bc);
+    EXPECT_EQ(serializeKernelStats(ab_c), serializeKernelStats(a_bc));
 }

@@ -21,8 +21,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <algorithm>
 #include <cstring>
 #include <sstream>
+#include <thread>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,7 @@
 #include "driver/figures.hh"
 #include "driver/job.hh"
 #include "driver/result_store.hh"
+#include "support/hash.hh"
 #include "support/progress.hh"
 #include "support/table.hh"
 
@@ -69,7 +72,8 @@ usage(const char *argv0)
         "  --quiet        suppress per-job progress on stderr\n"
         "  --no-summary   suppress the job accounting table\n"
         "  --list         print figure ids and exit\n"
-        "  --stats        print cache-sweep replay throughput and\n"
+        "  --stats        print cache-sweep replay throughput, GPU\n"
+        "                 timing-simulation telemetry, and\n"
         "                 result-store health after the figures\n",
         argv0);
 }
@@ -99,11 +103,18 @@ parseArgs(int argc, char **argv, Options &opt)
             const char *v = value(i);
             if (!v)
                 return false;
-            opt.jobs = std::atoi(v);
-            if (opt.jobs < 1) {
-                std::fprintf(stderr, "--jobs must be >= 1\n");
+            // Strict parse: "4abc", "", or out-of-range values are
+            // configuration mistakes, not requests for atoi's guess.
+            char *end = nullptr;
+            long n = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || n < 1 || n > 1024) {
+                std::fprintf(stderr,
+                             "--jobs: '%s' is not an integer in "
+                             "[1, 1024]\n",
+                             v);
                 return false;
             }
+            opt.jobs = int(n);
         } else if (!std::strcmp(arg, "--no-cache")) {
             opt.cache = false;
         } else if (!std::strcmp(arg, "--cache-dir")) {
@@ -142,9 +153,12 @@ selectFigures(const Options &opt, bool &ok)
         if (id == "all") {
             all = true;
         } else if (!driver::findFigure(id)) {
+            std::string valid;
+            for (const auto &def : driver::allFigures())
+                valid += (valid.empty() ? "" : " ") + def.id;
             std::fprintf(stderr,
-                         "unknown figure '%s' (try --list)\n",
-                         id.c_str());
+                         "unknown figure '%s'; valid figures: all %s\n",
+                         id.c_str(), valid.c_str());
             ok = false;
             return out;
         }
@@ -199,7 +213,16 @@ main(int argc, char **argv)
     core::registerAllWorkloads();
 
     driver::ResultStore store(opt.cacheDir, opt.cache);
-    driver::Executor executor(opt.jobs);
+    // More workers than hardware threads only adds contention (the
+    // jobs are CPU-bound, never blocking on I/O), and figure output
+    // is byte-identical across worker counts by design, so clamping
+    // is safe. Executor itself stays unclamped: tests deliberately
+    // oversubscribe to exercise races.
+    int hw = int(std::thread::hardware_concurrency());
+    if (hw < 1)
+        hw = 1;
+    int jobs = opt.jobs <= 0 ? hw : std::min(opt.jobs, hw);
+    driver::Executor executor(jobs);
     driver::Context ctx(&store, &executor);
 
     driver::JobGraph graph;
@@ -307,6 +330,50 @@ main(int argc, char **argv)
                         totalSeconds > 0.0 ? double(totalAccesses) /
                                                  totalSeconds / 1e6
                                            : 0.0);
+        auto sims = ctx.gpuSimTelemetrySnapshot();
+        Table g("GPU timing-simulation telemetry");
+        g.setHeader({"Simulation", "Cycles", "Sim (s)", "Mcycle/s"});
+        uint64_t totalCycles = 0;
+        double totalSimSeconds = 0.0;
+        for (const auto &s : sims) {
+            // The key's config component is the full fingerprint;
+            // compress it to a short digest so the table stays
+            // readable while distinct configs stay distinguishable.
+            std::string label = s.key;
+            size_t cfgAt = label.find('/');
+            cfgAt = cfgAt == std::string::npos
+                        ? std::string::npos
+                        : label.find('/', cfgAt + 1);
+            cfgAt = cfgAt == std::string::npos
+                        ? std::string::npos
+                        : label.find('/', cfgAt + 1);
+            if (cfgAt != std::string::npos) {
+                support::Fnv1a h;
+                h.field(std::string_view(label).substr(cfgAt + 1));
+                char tag[16];
+                std::snprintf(tag, sizeof(tag), "cfg=%08llx",
+                              (unsigned long long)(h.digest() &
+                                                   0xffffffffu));
+                label = label.substr(0, cfgAt + 1) + tag;
+            }
+            double rate = s.simSeconds > 0.0
+                              ? double(s.cycles) / s.simSeconds / 1e6
+                              : 0.0;
+            g.addRow({label, std::to_string(s.cycles),
+                      Table::fmt(s.simSeconds, 3),
+                      Table::fmt(rate, 1)});
+            totalCycles += s.cycles;
+            totalSimSeconds += s.simSeconds;
+        }
+        std::fputs(g.render().c_str(), stdout);
+        std::printf("%zu sims run / %llu store-served: %llu cycles "
+                    "simulated in %.3f s (%.1f Mcycle/s)\n",
+                    sims.size(),
+                    (unsigned long long)ctx.gpuStatsStoreHits(),
+                    (unsigned long long)totalCycles, totalSimSeconds,
+                    totalSimSeconds > 0.0
+                        ? double(totalCycles) / totalSimSeconds / 1e6
+                        : 0.0);
         std::printf("result store: %llu hits / %llu misses / "
                     "%llu publish failures\n",
                     (unsigned long long)store.hits(),
