@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "support/cancel.hh"
 #include "support/logging.hh"
 #include "trace/trace.hh"
 
@@ -155,8 +156,13 @@ runSweep(const trace::TraceSession &session, const SweepConfig &config)
 {
     CacheSweep sweep(config);
     auto t0 = std::chrono::steady_clock::now();
+    uint64_t events = 0;
     session.forEachInterleaved(
-        [&sweep](int tid, const trace::MemEvent &e) {
+        [&sweep, &events](int tid, const trace::MemEvent &e) {
+            // Cooperative cancellation checkpoint, strided to keep
+            // the replay loop's per-event cost unchanged.
+            if ((++events & 0xfffff) == 0)
+                support::checkpointCancellation();
             sweep.access(tid, e.addr, e.size, e.isWrite != 0);
         });
     double seconds =

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "driver/executor.hh"
+#include "support/cancel.hh"
+#include "support/faultinject.hh"
 #include "support/logging.hh"
 
 namespace rodinia {
@@ -88,6 +90,12 @@ Context::cpu(const std::string &name, core::Scale scale, int threads)
                 store->discard(key);
             }
         }
+        // Stall site + checkpoint sit after the store hit path: a
+        // warm entry is always served, only real compute is
+        // stallable/cancellable.
+        support::FaultInjector::instance().maybeStall(
+            "cpu:" + keyName.str());
+        support::checkpointCancellation();
         auto w = core::Registry::instance().create(name);
         entry->value = core::characterizeCpu(*w, scale, threads);
         if (store)
@@ -184,6 +192,9 @@ Context::gpuStats(const std::string &name, core::Scale scale,
                 store->discard(key);
             }
         }
+        support::FaultInjector::instance().maybeStall(
+            "sim:" + keyName.str());
+        support::checkpointCancellation();
         auto t0 = std::chrono::steady_clock::now();
         gpusim::TimingSim sim(config);
         entry->value = sim.simulate(seq);

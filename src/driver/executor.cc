@@ -1,12 +1,18 @@
 #include "driver/executor.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "driver/failure.hh"
+#include "support/cancel.hh"
+#include "support/faultinject.hh"
 
 namespace rodinia {
 namespace driver {
@@ -25,6 +31,7 @@ struct Executor::Impl
 
     std::vector<std::unique_ptr<WorkerQueue>> queues;
     std::vector<std::thread> workers;
+    RetryPolicy policy;
     std::atomic<bool> stop{false};
     std::atomic<size_t> pending{0}; //!< queued, not-yet-claimed tasks
     std::atomic<size_t> cursor{0};  //!< round-robin slot for outsiders
@@ -44,6 +51,14 @@ struct Executor::Impl
      * can never observe destroyed state even though run() may have
      * already returned on the waiting thread.
      */
+    /** Watchdog view of one in-flight job attempt. */
+    struct RunningSlot
+    {
+        std::shared_ptr<support::CancelToken> token;
+        std::chrono::steady_clock::time_point start;
+        double deadlineMs = 0.0;
+    };
+
     struct RunCtx
     {
         JobGraph *graph = nullptr;
@@ -56,14 +71,18 @@ struct Executor::Impl
         size_t finished = 0;
         std::vector<int> remaining;
         std::vector<char> depFailed;
+        std::vector<size_t> skipCause; //!< failed dep behind depFailed
         std::vector<std::vector<size_t>> dependents;
+        std::vector<RunningSlot> running; //!< guarded by mu
     };
 
     static void executeJob(const std::shared_ptr<RunCtx> &ctx,
                            size_t id);
     static void completeJob(const std::shared_ptr<RunCtx> &ctx,
                             size_t id, JobStatus status, double wallMs,
-                            const std::string &error);
+                            const std::string &error, ErrorClass cls,
+                            int attempts);
+    static void watchdogLoop(const std::shared_ptr<RunCtx> &ctx);
 
     // Which executor (if any) owns the current thread. Lets submit()
     // push to the worker's own queue, and keeps queue indices
@@ -182,15 +201,28 @@ Executor::threadCount() const
     return int(impl->queues.size());
 }
 
+void
+Executor::setRetryPolicy(const RetryPolicy &policy)
+{
+    impl->policy = policy;
+}
+
+RetryPolicy
+Executor::retryPolicy() const
+{
+    return impl->policy;
+}
+
 // completeJob() records a job's outcome, releases dependents, and
 // (for failure) cascades Skipped through the downstream graph.
 void
 Executor::Impl::completeJob(const std::shared_ptr<RunCtx> &ctx,
                             size_t id, JobStatus status, double wallMs,
-                            const std::string &error)
+                            const std::string &error, ErrorClass cls,
+                            int attempts)
 {
     std::vector<size_t> ready;
-    std::vector<size_t> skips;
+    std::vector<std::pair<size_t, std::string>> skips;
     bool lastJob = false;
     {
         std::lock_guard<std::mutex> lock(ctx->mu);
@@ -198,12 +230,20 @@ Executor::Impl::completeJob(const std::shared_ptr<RunCtx> &ctx,
         j.status = status;
         j.wallMs = wallMs;
         j.error = error;
+        j.errorClass = cls;
+        j.attempts = attempts;
         for (size_t dep : ctx->dependents[id]) {
-            if (status != JobStatus::Done)
+            if (status != JobStatus::Done && !ctx->depFailed[dep]) {
                 ctx->depFailed[dep] = 1;
+                ctx->skipCause[dep] = id; // first failed dep wins
+            }
             if (--ctx->remaining[dep] == 0) {
                 if (ctx->depFailed[dep])
-                    skips.push_back(dep);
+                    skips.emplace_back(
+                        dep,
+                        "skipped: dependency '" +
+                            ctx->graph->job(ctx->skipCause[dep]).name +
+                            "' failed");
                 else
                     ready.push_back(dep);
             }
@@ -219,8 +259,9 @@ Executor::Impl::completeJob(const std::shared_ptr<RunCtx> &ctx,
             ctx->progress->jobFailed(ctx->graph->job(id).name, error,
                                      status == JobStatus::Skipped);
     }
-    for (size_t skip : skips)
-        completeJob(ctx, skip, JobStatus::Skipped, 0.0, "");
+    for (auto &skip : skips)
+        completeJob(ctx, skip.first, JobStatus::Skipped, 0.0,
+                    skip.second, ErrorClass::Skipped, 0);
     for (size_t r : ready)
         ctx->impl->submit([ctx, r] { executeJob(ctx, r); });
     if (lastJob) {
@@ -233,32 +274,121 @@ Executor::Impl::completeJob(const std::shared_ptr<RunCtx> &ctx,
     }
 }
 
-// executeJob() is the task body run on pool threads.
+// executeJob() is the task body run on pool threads. Each attempt
+// gets a fresh CancelToken registered in ctx->running so the
+// watchdog can cancel it; transient failures retry with capped
+// exponential backoff.
 void
 Executor::Impl::executeJob(const std::shared_ptr<RunCtx> &ctx, size_t id)
 {
+    std::string name;
+    double deadlineMs = 0.0;
+    int maxAttempts = 0;
     {
         std::lock_guard<std::mutex> lock(ctx->mu);
-        ctx->graph->job(id).status = JobStatus::Running;
+        Job &j = ctx->graph->job(id);
+        j.status = JobStatus::Running;
+        name = j.name;
+        deadlineMs = j.softDeadlineMs;
+        maxAttempts = j.maxAttempts;
     }
+    const RetryPolicy policy = ctx->impl->policy;
+    if (maxAttempts <= 0)
+        maxAttempts = std::max(1, policy.maxAttempts);
     if (ctx->progress)
-        ctx->progress->jobStarted(ctx->graph->job(id).name);
+        ctx->progress->jobStarted(name);
+
+    auto &injector = support::FaultInjector::instance();
     auto t0 = std::chrono::steady_clock::now();
     JobStatus status = JobStatus::Done;
     std::string error;
-    try {
-        ctx->graph->job(id).work();
-    } catch (const std::exception &e) {
-        status = JobStatus::Failed;
-        error = e.what();
-    } catch (...) {
-        status = JobStatus::Failed;
-        error = "unknown exception";
+    ErrorClass cls = ErrorClass::None;
+    int attempt = 0;
+    for (attempt = 1;; ++attempt) {
+        auto token = std::make_shared<support::CancelToken>();
+        {
+            std::lock_guard<std::mutex> lock(ctx->mu);
+            ctx->running[id] = {token,
+                                std::chrono::steady_clock::now(),
+                                deadlineMs};
+        }
+        try {
+            support::CancelScope scope(token.get());
+            injector.maybeFailJob(name, attempt);
+            injector.maybeStall("job:" + name);
+            {
+                // Armed inside the try so stack unwinding disarms
+                // injection before the catch body allocates.
+                support::AllocFaultScope allocFaults(name);
+                ctx->graph->job(id).work();
+            }
+            break; // success
+        } catch (...) {
+            Classified c = classifyCurrentException();
+            {
+                std::lock_guard<std::mutex> lock(ctx->mu);
+                ctx->running[id] = RunningSlot{};
+            }
+            if (c.transient && attempt < maxAttempts) {
+                int shift = std::min(attempt - 1, 20);
+                int backoffMs =
+                    std::min(policy.backoffCapMs,
+                             policy.backoffBaseMs << shift);
+                if (backoffMs > 0)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(backoffMs));
+                continue;
+            }
+            status = JobStatus::Failed;
+            error = c.message;
+            cls = c.cls;
+            break;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(ctx->mu);
+        ctx->running[id] = RunningSlot{};
     }
     double ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
-    completeJob(ctx, id, status, ms, error);
+    completeJob(ctx, id, status, ms, error, cls, attempt);
+}
+
+// watchdogLoop() runs on its own thread for graphs with soft
+// deadlines: it wakes every ~20 ms, compares each running attempt's
+// elapsed time against its deadline, and cancels overdue tokens.
+// The cancel reason quotes the configured deadline (not the
+// measured elapsed time) so failure messages — and therefore
+// MISSING cells and resumed reruns — stay byte-deterministic.
+void
+Executor::Impl::watchdogLoop(const std::shared_ptr<RunCtx> &ctx)
+{
+    std::unique_lock<std::mutex> lock(ctx->mu);
+    for (;;) {
+        if (ctx->cv.wait_for(lock, std::chrono::milliseconds(20), [&] {
+                return ctx->finished == ctx->total;
+            }))
+            return;
+        auto now = std::chrono::steady_clock::now();
+        for (size_t id = 0; id < ctx->running.size(); ++id) {
+            RunningSlot &slot = ctx->running[id];
+            if (!slot.token || slot.deadlineMs <= 0.0 ||
+                slot.token->cancelled())
+                continue;
+            double elapsed =
+                std::chrono::duration<double, std::milli>(now -
+                                                          slot.start)
+                    .count();
+            if (elapsed <= slot.deadlineMs)
+                continue;
+            // CancelToken has its own (leaf) mutex; safe under mu.
+            slot.token->cancel(
+                "watchdog: job '" + ctx->graph->job(id).name +
+                "' exceeded soft deadline of " +
+                std::to_string(int64_t(slot.deadlineMs)) + " ms");
+        }
+    }
 }
 
 bool
@@ -275,7 +405,9 @@ Executor::run(JobGraph &graph, support::ProgressReporter *progress)
     ctx->total = total;
     ctx->remaining.resize(total);
     ctx->depFailed.assign(total, 0);
+    ctx->skipCause.assign(total, 0);
     ctx->dependents.resize(total);
+    ctx->running.assign(total, Impl::RunningSlot{});
 
     // Roots are read off the immutable graph structure before any
     // submission. The previous version seeded by scanning the mutable
@@ -293,6 +425,13 @@ Executor::run(JobGraph &graph, support::ProgressReporter *progress)
             roots.push_back(i);
     }
 
+    bool anyDeadline = false;
+    for (size_t i = 0; i < total; ++i)
+        anyDeadline = anyDeadline || graph.job(i).softDeadlineMs > 0.0;
+    std::thread watchdog;
+    if (anyDeadline)
+        watchdog = std::thread([ctx] { Impl::watchdogLoop(ctx); });
+
     for (size_t r : roots)
         impl->submit([ctx, r] { Impl::executeJob(ctx, r); });
 
@@ -301,6 +440,8 @@ Executor::run(JobGraph &graph, support::ProgressReporter *progress)
         ctx->cv.wait(lock,
                      [&] { return ctx->finished == ctx->total; });
     }
+    if (watchdog.joinable())
+        watchdog.join();
     return graph.allDone();
 }
 
@@ -320,13 +461,19 @@ Executor::parallelFor(size_t n, const std::function<void(size_t)> &fn)
         std::atomic<size_t> active{0};
         size_t n = 0;
         const std::function<void(size_t)> *fn = nullptr;
+        const support::CancelToken *token = nullptr;
         std::mutex mu;
         std::condition_variable cv;
-        std::exception_ptr error; //!< guarded by mu
+        //! every failed iteration's (index, exception); guarded by mu
+        std::vector<std::pair<size_t, std::exception_ptr>> errors;
     };
     auto st = std::make_shared<PfState>();
     st->n = n;
     st->fn = &fn;
+    // Propagate the caller's cancel token onto helper threads so a
+    // watchdog-cancelled job's nested sweep iterations observe the
+    // cancellation at their own checkpoints.
+    st->token = support::currentCancelToken();
 
     // Claim protocol: active is raised *before* the claim so that
     // "next >= n && active == 0" proves no iteration is running or
@@ -334,6 +481,7 @@ Executor::parallelFor(size_t n, const std::function<void(size_t)> &fn)
     // an exhausted range, and leave without touching fn (whose
     // lifetime ends when parallelFor returns).
     auto drain = [](PfState *s) {
+        support::CancelScope scope(s->token);
         for (;;) {
             s->active.fetch_add(1);
             size_t i = s->next.fetch_add(1);
@@ -352,8 +500,8 @@ Executor::parallelFor(size_t n, const std::function<void(size_t)> &fn)
             } catch (...) {
                 {
                     std::lock_guard<std::mutex> lock(s->mu);
-                    if (!s->error)
-                        s->error = std::current_exception();
+                    s->errors.emplace_back(i,
+                                           std::current_exception());
                 }
                 s->next.store(s->n); // abandon unclaimed iterations
             }
@@ -361,9 +509,18 @@ Executor::parallelFor(size_t n, const std::function<void(size_t)> &fn)
         }
     };
 
+    // If a helper submission itself throws (e.g. injected allocation
+    // failure), abandon the remaining range, let everything already
+    // claimed settle, and surface the submission error.
+    std::exception_ptr submitError;
     size_t helpers = std::min(size_t(threadCount()), n - 1);
-    for (size_t h = 0; h < helpers; ++h)
-        impl->submit([st, drain] { drain(st.get()); });
+    try {
+        for (size_t h = 0; h < helpers; ++h)
+            impl->submit([st, drain] { drain(st.get()); });
+    } catch (...) {
+        submitError = std::current_exception();
+        st->next.store(st->n);
+    }
 
     drain(st.get());
 
@@ -373,8 +530,58 @@ Executor::parallelFor(size_t n, const std::function<void(size_t)> &fn)
             return st->next.load() >= st->n && st->active.load() == 0;
         });
     }
-    if (st->error)
-        std::rethrow_exception(st->error);
+
+    // All drainers have settled; errors is no longer concurrently
+    // mutated. Sort by iteration index so aggregation is independent
+    // of scheduling order.
+    auto &errors = st->errors;
+    std::sort(errors.begin(), errors.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    if (errors.empty()) {
+        if (submitError)
+            std::rethrow_exception(submitError);
+        return;
+    }
+    // Cancellation dominates: concurrent iterations of a cancelled
+    // job all trip the same token, and the token's reason is the
+    // deterministic root cause — an aggregate of "which iterations
+    // happened to be in flight" would not be.
+    for (auto &err : errors) {
+        Classified c = classifyException(err.second);
+        if (c.cls == ErrorClass::Deadline)
+            std::rethrow_exception(err.second);
+    }
+    if (errors.size() == 1 && !submitError)
+        std::rethrow_exception(errors[0].second); // keep the type
+    size_t shown = 0;
+    std::string what = std::to_string(errors.size()) + " of " +
+                       std::to_string(n) +
+                       " parallel iterations failed:";
+    bool allTransient = !submitError;
+    ErrorClass cls = ErrorClass::None;
+    bool mixed = false;
+    for (auto &err : errors) {
+        Classified c = classifyException(err.second);
+        allTransient = allTransient && c.transient;
+        if (cls == ErrorClass::None)
+            cls = c.cls;
+        else if (cls != c.cls)
+            mixed = true;
+        if (shown < 4) {
+            what += " [" + std::to_string(err.first) + "] " +
+                    c.message + ";";
+            ++shown;
+        }
+    }
+    if (errors.size() > shown)
+        what += " (+" + std::to_string(errors.size() - shown) +
+                " more)";
+    else
+        what.pop_back(); // trailing ';'
+    throw AggregateError(what, mixed ? ErrorClass::Workload : cls,
+                         allTransient, errors.size());
 }
 
 } // namespace driver

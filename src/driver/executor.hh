@@ -31,6 +31,26 @@
  * assembles slots in a fixed order. All experiment code in this
  * repo follows that rule, which is what makes N-thread runs
  * byte-identical to serial ones.
+ *
+ * Failure discipline (see driver/failure.hh for the taxonomy):
+ *
+ *  - Isolation: a job exception fails that job (status, error
+ *    message, error class, and attempt count recorded in the graph)
+ *    and skips its transitive dependents; nothing is rethrown out of
+ *    run() and unrelated jobs keep executing.
+ *
+ *  - Retries: transient classes (store IO, allocation pressure,
+ *    injected-transient) are retried up to the RetryPolicy's attempt
+ *    cap with capped exponential backoff; permanent classes fail on
+ *    the first throw.
+ *
+ *  - Watchdog: when any job carries a softDeadlineMs, run() spawns a
+ *    monitor thread that cancels over-deadline attempts via a
+ *    per-attempt support::CancelToken. Cancellation is cooperative —
+ *    the token is installed as the thread's CancelScope (and
+ *    propagated to parallelFor helpers), and the sim/replay loops
+ *    poll checkpointCancellation(), so a hung or runaway sim fails
+ *    its own figure, not the process.
  */
 
 #ifndef RODINIA_DRIVER_EXECUTOR_HH
@@ -44,6 +64,14 @@
 
 namespace rodinia {
 namespace driver {
+
+/** Retry policy for transient job failures. */
+struct RetryPolicy
+{
+    int maxAttempts = 3;   //!< total attempts (1 = no retry)
+    int backoffBaseMs = 10; //!< sleep before attempt 2
+    int backoffCapMs = 250; //!< backoff ceiling (doubles per retry)
+};
 
 class Executor
 {
@@ -60,6 +88,11 @@ class Executor
 
     int threadCount() const;
 
+    /** Replace the transient-failure retry policy. Call before
+     *  run(); not synchronized against an in-flight run. */
+    void setRetryPolicy(const RetryPolicy &policy);
+    RetryPolicy retryPolicy() const;
+
     /**
      * Execute every job in the graph, respecting dependencies.
      * Statuses, wall-clock times, and error messages are written
@@ -74,9 +107,15 @@ class Executor
     /**
      * Run fn(0..n-1) across the pool. The caller claims iterations
      * too, so this is safe to call from inside a job. Iterations
-     * must be independent; the first exception is rethrown in the
-     * caller after all claimed iterations settle (remaining
-     * iterations are abandoned).
+     * must be independent. On failure, every claimed iteration
+     * settles and *all* exceptions are collected (remaining
+     * iterations are abandoned): a lone exception is rethrown with
+     * its original type; several become one AggregateError listing
+     * the failed indices in index order; a cancellation
+     * (CancelledError) dominates either way, since concurrent
+     * iterations of a cancelled job all trip the same token and the
+     * token's reason is the deterministic root cause. The caller's
+     * active CancelToken (if any) is propagated to helper threads.
      */
     void parallelFor(size_t n, const std::function<void(size_t)> &fn);
 

@@ -1,0 +1,79 @@
+#include "driver/failure.hh"
+
+#include <filesystem>
+#include <new>
+
+#include "support/cancel.hh"
+#include "support/faultinject.hh"
+
+namespace rodinia {
+namespace driver {
+
+Classified
+classifyException(std::exception_ptr e)
+{
+    if (!e)
+        return {ErrorClass::None, false, ""};
+    try {
+        std::rethrow_exception(e);
+    } catch (const support::CancelledError &ex) {
+        return {ErrorClass::Deadline, false, ex.what()};
+    } catch (const support::InjectedFault &ex) {
+        return {ErrorClass::Injected, ex.transient(), ex.what()};
+    } catch (const TransientError &ex) {
+        return {ErrorClass::StoreIo, true, ex.what()};
+    } catch (const std::filesystem::filesystem_error &ex) {
+        return {ErrorClass::StoreIo, true, ex.what()};
+    } catch (const AggregateError &ex) {
+        return {ex.errorClass(), ex.allTransient(), ex.what()};
+    } catch (const std::bad_alloc &ex) {
+        return {ErrorClass::Oom, true, ex.what()};
+    } catch (const std::exception &ex) {
+        return {ErrorClass::Workload, false, ex.what()};
+    } catch (...) {
+        return {ErrorClass::Unknown, false, "unknown exception"};
+    }
+}
+
+Classified
+classifyCurrentException()
+{
+    return classifyException(std::current_exception());
+}
+
+std::string
+Failure::format() const
+{
+    std::string out = "job '" + job + "' [";
+    out += errorClassName(cls);
+    if (attempts > 0) {
+        out += ", ";
+        out += std::to_string(attempts);
+        out += attempts == 1 ? " attempt" : " attempts";
+    }
+    out += "]: ";
+    out += message;
+    return out;
+}
+
+std::vector<Failure>
+collectFailures(const JobGraph &graph)
+{
+    std::vector<Failure> out;
+    for (const Job &j : graph.jobs()) {
+        if (j.status != JobStatus::Failed &&
+            j.status != JobStatus::Skipped)
+            continue;
+        Failure f;
+        f.job = j.name;
+        f.cls = j.errorClass;
+        f.message = j.error;
+        f.attempts = j.attempts;
+        f.elapsedMs = j.wallMs;
+        out.push_back(std::move(f));
+    }
+    return out;
+}
+
+} // namespace driver
+} // namespace rodinia

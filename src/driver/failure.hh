@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Failure taxonomy and structured failure records.
+ *
+ * Every exception escaping a job body is classified into an
+ * ErrorClass (job.hh) with a transient/permanent verdict:
+ *
+ *   class      source exception                transient?
+ *   --------   -----------------------------   ----------
+ *   deadline   support::CancelledError         no (the retry would
+ *                                              hit the same deadline)
+ *   injected   support::InjectedFault          rule-controlled
+ *   store-io   TransientError,                 yes
+ *              std::filesystem::filesystem_error
+ *   oom        std::bad_alloc                  yes
+ *   workload   any other std::exception        no
+ *   unknown    non-std::exception throw        no
+ *
+ * Transient failures are retried by the executor with capped
+ * exponential backoff; permanent ones fail the job on first throw.
+ * After a run, collectFailures() turns the graph's Failed/Skipped
+ * jobs into Failure records for reporting.
+ */
+
+#ifndef RODINIA_DRIVER_FAILURE_HH
+#define RODINIA_DRIVER_FAILURE_HH
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "driver/job.hh"
+
+namespace rodinia {
+namespace driver {
+
+/** Throw this from experiment code for errors worth retrying
+ *  (store IO, publish races). Classified store-io/transient. */
+class TransientError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Several parallelFor iterations failed. what() lists the failing
+ * iteration indices and messages (in index order, truncated past
+ * the first few). Carries the dominant class and whether *every*
+ * component was transient, so a retry decision on the aggregate is
+ * as conservative as its least-retryable part.
+ */
+class AggregateError : public std::runtime_error
+{
+  public:
+    AggregateError(const std::string &what, ErrorClass cls,
+                   bool allTransient, size_t errorCount)
+        : std::runtime_error(what), cls_(cls),
+          allTransient_(allTransient), errorCount_(errorCount)
+    {
+    }
+
+    ErrorClass errorClass() const { return cls_; }
+    bool allTransient() const { return allTransient_; }
+    size_t errorCount() const { return errorCount_; }
+
+  private:
+    ErrorClass cls_;
+    bool allTransient_;
+    size_t errorCount_;
+};
+
+/** Classification verdict for one exception. */
+struct Classified
+{
+    ErrorClass cls = ErrorClass::Unknown;
+    bool transient = false;
+    std::string message;
+};
+
+/** Classify @p e per the table in the file comment. */
+Classified classifyException(std::exception_ptr e);
+
+/** Classify the in-flight exception (call from a catch block). */
+Classified classifyCurrentException();
+
+/** Structured record of one failed or skipped job. */
+struct Failure
+{
+    std::string job;
+    ErrorClass cls = ErrorClass::Unknown;
+    std::string message;
+    int attempts = 0;
+    double elapsedMs = 0.0;
+
+    /** "job 'x' [store-io, 3 attempts]: message" */
+    std::string format() const;
+};
+
+/** Failure records for every Failed/Skipped job, in job-id order
+ *  (deterministic across thread counts). */
+std::vector<Failure> collectFailures(const JobGraph &graph);
+
+} // namespace driver
+} // namespace rodinia
+
+#endif // RODINIA_DRIVER_FAILURE_HH

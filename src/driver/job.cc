@@ -23,6 +23,30 @@ jobStatusName(JobStatus status)
     return "unknown";
 }
 
+const char *
+errorClassName(ErrorClass cls)
+{
+    switch (cls) {
+      case ErrorClass::None:
+        return "none";
+      case ErrorClass::Injected:
+        return "injected";
+      case ErrorClass::StoreIo:
+        return "store-io";
+      case ErrorClass::Deadline:
+        return "deadline";
+      case ErrorClass::Oom:
+        return "oom";
+      case ErrorClass::Workload:
+        return "workload";
+      case ErrorClass::Skipped:
+        return "skipped";
+      case ErrorClass::Unknown:
+        return "unknown";
+    }
+    return "unknown";
+}
+
 size_t
 JobGraph::add(std::string name, std::function<void()> work,
               std::vector<size_t> deps)

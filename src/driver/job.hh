@@ -37,6 +37,26 @@ enum class JobStatus {
 /** Human-readable status tag ("done", "failed", ...). */
 const char *jobStatusName(JobStatus status);
 
+/**
+ * Why a job failed. The class drives two policies: whether the
+ * executor retries (transient classes: store IO, allocation
+ * pressure, injected-transient), and how a missing figure cell is
+ * rendered by `experiments --keep-going` (MISSING(<class>)).
+ */
+enum class ErrorClass {
+    None,     //!< job did not fail
+    Injected, //!< fault-injection harness (support::InjectedFault)
+    StoreIo,  //!< result-store / filesystem IO (transient)
+    Deadline, //!< cancelled by the watchdog (support::CancelledError)
+    Oom,      //!< allocation failure (std::bad_alloc, transient)
+    Workload, //!< the experiment body threw (permanent)
+    Skipped,  //!< not run; a dependency failed
+    Unknown,  //!< non-std::exception throw
+};
+
+/** Human-readable class tag ("injected", "store-io", ...). */
+const char *errorClassName(ErrorClass cls);
+
 /** One schedulable unit of experiment work. */
 struct Job
 {
@@ -44,10 +64,18 @@ struct Job
     std::function<void()> work;  //!< the experiment body
     std::vector<size_t> deps;    //!< ids of jobs that must finish first
 
+    // Scheduling policy (set by the graph author before run()).
+    double softDeadlineMs = 0.0; //!< watchdog deadline per attempt;
+                                 //!< <= 0 disables
+    int maxAttempts = 0;         //!< retry cap for transient errors;
+                                 //!< <= 0 uses the executor's policy
+
     // Filled in by the executor.
     JobStatus status = JobStatus::Pending;
     double wallMs = 0.0;         //!< execution wall-clock time
     std::string error;           //!< exception message when Failed
+    ErrorClass errorClass = ErrorClass::None;
+    int attempts = 0;            //!< attempts actually made
 };
 
 /**

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <thread>
 
+#include "support/faultinject.hh"
 #include "support/hash.hh"
 #include "support/logging.hh"
 
@@ -17,6 +18,36 @@ ResultStore::ResultStore(std::filesystem::path dir, bool enabled,
                          int version)
     : dir(std::move(dir)), on(enabled), version(version)
 {
+    if (on)
+        collectTmpGarbage();
+}
+
+// A crashed publish leaves `<entry>.tmp.<writer>` behind (write
+// happened, rename did not). Those droppings are dead weight — a
+// tmp name is never read and never reused unless the same writer id
+// recurs — so sweep them when the store opens, before any publishes
+// from this process can be in flight.
+void
+ResultStore::collectTmpGarbage()
+{
+    std::error_code ec;
+    // The ec overload degrades to an empty range when the directory
+    // does not exist yet.
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        std::string name = entry.path().filename().string();
+        if (name.find(".tmp.") == std::string::npos)
+            continue;
+        if (support::FaultInjector::instance().failFile(
+                support::FaultOp::Unlink, name)) {
+            warn("ResultStore: injected unlink failure for ",
+                 entry.path().string());
+            continue;
+        }
+        std::error_code rmEc;
+        if (std::filesystem::remove(entry.path(), rmEc) && !rmEc)
+            nTmpCollected.fetch_add(1);
+    }
 }
 
 uint64_t
@@ -71,14 +102,25 @@ ResultStore::load(const Key &key) const
 
 namespace {
 
-/** write(2) the whole buffer, then fsync. False on any failure. */
+/** write(2) the whole buffer, then fsync. False on any failure.
+ *  @p faultKey names the destination entry for injected write/fsync
+ *  failures (keyed by the entry, not the per-writer tmp name, so
+ *  injection decisions are stable across thread ids). */
 bool
 writeAllDurably(const std::filesystem::path &path,
-                const std::string &payload)
+                const std::string &payload,
+                const std::string &faultKey)
 {
+    auto &injector = support::FaultInjector::instance();
     int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd < 0)
         return false;
+    if (injector.failFile(support::FaultOp::Write, faultKey)) {
+        // Model a mid-write crash: the tmp exists (possibly with
+        // partial bytes) but the payload never made it.
+        ::close(fd);
+        return false;
+    }
     const char *p = payload.data();
     size_t left = payload.size();
     while (left > 0) {
@@ -92,7 +134,8 @@ writeAllDurably(const std::filesystem::path &path,
         p += n;
         left -= size_t(n);
     }
-    bool ok = ::fsync(fd) == 0;
+    bool ok = !injector.failFile(support::FaultOp::Fsync, faultKey) &&
+              ::fsync(fd) == 0;
     return (::close(fd) == 0) && ok;
 }
 
@@ -130,8 +173,16 @@ ResultStore::store(const Key &key, const std::string &payload) const
     tmpName << dest.filename().string() << ".tmp."
             << std::hash<std::thread::id>{}(std::this_thread::get_id());
     std::filesystem::path tmp = dir / tmpName.str();
-    if (!writeAllDurably(tmp, payload)) {
+    if (!writeAllDurably(tmp, payload, dest.filename().string())) {
         warn("ResultStore: cannot write ", tmp.string());
+        std::filesystem::remove(tmp, ec);
+        nPublishFailures.fetch_add(1);
+        return false;
+    }
+    if (support::FaultInjector::instance().failFile(
+            support::FaultOp::Rename, dest.filename().string())) {
+        warn("ResultStore: injected rename failure for ",
+             dest.string());
         std::filesystem::remove(tmp, ec);
         nPublishFailures.fetch_add(1);
         return false;
@@ -154,8 +205,16 @@ ResultStore::discard(const Key &key) const
 {
     if (!on)
         return;
+    std::filesystem::path path = pathFor(key);
+    if (support::FaultInjector::instance().failFile(
+            support::FaultOp::Unlink, path.filename().string())) {
+        warn("ResultStore: injected unlink failure for ",
+             path.string());
+        return; // entry survives; a retried discard starts over
+    }
     std::error_code ec;
-    std::filesystem::remove(pathFor(key), ec);
+    if (!std::filesystem::remove(path, ec) || ec)
+        return; // nothing removed — nothing to reclassify
     // The load that surfaced the bad payload was counted as a hit;
     // the caller is about to recompute, so reclassify it.
     nHits.fetch_sub(1);

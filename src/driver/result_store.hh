@@ -57,6 +57,11 @@ class ResultStore
      *        store into a no-op (--no-cache)
      * @param version store version folded into every hash; exposed
      *        for invalidation tests
+     *
+     * Opening an enabled store garbage-collects orphaned `*.tmp.*`
+     * droppings left behind by publishes that crashed between write
+     * and rename (counted in tmpCollected()). Published entries are
+     * never touched.
      */
     explicit ResultStore(std::filesystem::path dir, bool enabled = true,
                          int version = kVersion);
@@ -83,6 +88,11 @@ class ResultStore
      * surfaced it as a miss. Call when a loaded payload turns out to
      * be unusable (parse failure) so the corrupt entry self-heals on
      * the recompute instead of poisoning every future run.
+     *
+     * Idempotent: the hit→miss reclassification happens only when
+     * this call actually removed the entry, so repeated discards —
+     * or a discard retried after an (injected) unlink failure —
+     * never double-count.
      */
     void discard(const Key &key) const;
 
@@ -94,14 +104,19 @@ class ResultStore
     uint64_t misses() const { return nMisses.load(); }
     /** Publishes that failed (write, fsync, or rename). */
     uint64_t publishFailures() const { return nPublishFailures.load(); }
+    /** Orphaned *.tmp.* droppings collected when the store opened. */
+    uint64_t tmpCollected() const { return nTmpCollected.load(); }
 
   private:
+    void collectTmpGarbage();
+
     std::filesystem::path dir;
     bool on;
     int version;
     mutable std::atomic<uint64_t> nHits{0};
     mutable std::atomic<uint64_t> nMisses{0};
     mutable std::atomic<uint64_t> nPublishFailures{0};
+    mutable std::atomic<uint64_t> nTmpCollected{0};
 };
 
 /** Key for a CPU characterization result. */

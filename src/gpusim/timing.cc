@@ -11,6 +11,7 @@
 
 #include "gpusim/replay.hh"
 #include "gpusim/simplecache.hh"
+#include "support/cancel.hh"
 #include "support/logging.hh"
 
 namespace rodinia {
@@ -225,7 +226,14 @@ class Engine
         // after visiting that SM keeps it valid.
         smNext.assign(size_t(cfg.numSms), 0);
         uint64_t cycle = 0;
+        uint64_t loops = 0;
         while (blocksRemaining > 0) {
+            // Cooperative cancellation: a watchdog-cancelled job's
+            // sim unwinds here. Strided so the thread-local poll
+            // costs nothing measurable per cycle; cycles are
+            // logical, so the check cannot perturb results.
+            if ((++loops & 0x3fff) == 0)
+                support::checkpointCancellation();
             bool issued = false;
             for (int s = 0; s < cfg.numSms; ++s) {
                 if (smNext[size_t(s)] > cycle)
@@ -650,6 +658,7 @@ TimingSim::simulate(const LaunchSequence &seq) const
 {
     KernelStats total;
     for (const auto &rec : seq.launches) {
+        support::checkpointCancellation();
         KernelStats s = simulate(rec);
         s.cycles += cfg.launchOverheadCycles;
         total.add(s);

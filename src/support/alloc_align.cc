@@ -40,6 +40,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "support/faultinject.hh"
+
 namespace {
 
 std::atomic<int> liveScopes{0};
@@ -80,6 +82,12 @@ constexpr std::size_t kPage = 4096;
 void *
 alignedAlloc(std::size_t size, std::size_t minAlign)
 {
+    // Injected allocation failure (armed per-thread by the executor
+    // around job bodies; a no-op single thread-local read otherwise).
+    // Bypasses the new_handler loop: an injected failure models
+    // exhaustion that no handler could relieve.
+    if (rodinia::support::FaultInjector::shouldFailAlloc())
+        return nullptr;
     if (size == 0)
         size = 1;
     std::size_t align = minAlign;

@@ -1,0 +1,54 @@
+#include "support/cancel.hh"
+
+namespace rodinia {
+namespace support {
+
+namespace {
+
+thread_local const CancelToken *tlsToken = nullptr;
+
+} // namespace
+
+void
+CancelToken::cancel(const std::string &reason)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (flag_.load(std::memory_order_relaxed))
+        return; // first reason wins
+    reason_ = reason;
+    flag_.store(true, std::memory_order_release);
+}
+
+std::string
+CancelToken::reason() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return reason_;
+}
+
+void
+CancelToken::checkpoint() const
+{
+    if (!flag_.load(std::memory_order_relaxed))
+        return;
+    throw CancelledError(reason());
+}
+
+CancelScope::CancelScope(const CancelToken *token) : prev_(tlsToken)
+{
+    tlsToken = token;
+}
+
+CancelScope::~CancelScope()
+{
+    tlsToken = prev_;
+}
+
+const CancelToken *
+currentCancelToken()
+{
+    return tlsToken;
+}
+
+} // namespace support
+} // namespace rodinia

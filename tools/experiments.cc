@@ -15,7 +15,18 @@
  * Usage:
  *   experiments [--figure <id>|all] [--jobs N] [--no-cache]
  *               [--cache-dir DIR] [--quiet] [--no-summary] [--list]
- *               [--stats]
+ *               [--stats] [--keep-going] [--deadline MS]
+ *
+ * Failure behavior: job failures never abort the process — the
+ * executor isolates them, retries transient classes, and skips
+ * dependents. Without --keep-going a failed run suppresses figure
+ * output entirely (all-or-nothing); with it, every completable
+ * figure is emitted byte-identical to a clean run and failed ones
+ * are rendered as deterministic MISSING(<error-class>) markers.
+ * Either way the process exits non-zero with a per-job failure
+ * summary on stderr. --deadline arms the executor watchdog with a
+ * per-job soft deadline; RODINIA_FAULTS (support/faultinject.hh)
+ * injects deterministic faults for testing.
  */
 
 #include <chrono>
@@ -30,6 +41,7 @@
 
 #include "driver/context.hh"
 #include "driver/executor.hh"
+#include "driver/failure.hh"
 #include "driver/figures.hh"
 #include "driver/job.hh"
 #include "driver/result_store.hh"
@@ -56,6 +68,8 @@ struct Options
     bool summary = true;
     bool list = false;
     bool stats = false;
+    bool keepGoing = false;
+    double deadlineMs = 0.0; //!< per-job soft deadline; 0 = off
 };
 
 void
@@ -74,7 +88,13 @@ usage(const char *argv0)
         "  --list         print figure ids and exit\n"
         "  --stats        print cache-sweep replay throughput, GPU\n"
         "                 timing-simulation telemetry, and\n"
-        "                 result-store health after the figures\n",
+        "                 result-store health after the figures\n"
+        "  --keep-going   on job failure, still emit every\n"
+        "                 completable figure and render failed ones\n"
+        "                 as MISSING(<error-class>) markers\n"
+        "  --deadline MS  soft per-job watchdog deadline in ms; an\n"
+        "                 over-deadline job is cancelled\n"
+        "                 cooperatively and fails as 'deadline'\n",
         argv0);
 }
 
@@ -130,6 +150,23 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.list = true;
         } else if (!std::strcmp(arg, "--stats")) {
             opt.stats = true;
+        } else if (!std::strcmp(arg, "--keep-going")) {
+            opt.keepGoing = true;
+        } else if (!std::strcmp(arg, "--deadline")) {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            char *end = nullptr;
+            long n = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || n < 1 ||
+                n > 86400000L) {
+                std::fprintf(stderr,
+                             "--deadline: '%s' is not a millisecond "
+                             "count in [1, 86400000]\n",
+                             v);
+                return false;
+            }
+            opt.deadlineMs = double(n);
         } else if (!std::strcmp(arg, "--help") ||
                    !std::strcmp(arg, "-h")) {
             usage(argv[0]);
@@ -256,6 +293,7 @@ main(int argc, char **argv)
     };
 
     std::vector<std::string> outputs(figures.size());
+    std::vector<size_t> figureJobIds(figures.size());
     for (size_t i = 0; i < figures.size(); ++i) {
         const auto *def = figures[i];
         std::vector<size_t> deps;
@@ -263,12 +301,16 @@ main(int argc, char **argv)
             deps = cpuJobs;
         for (const auto &dep : def->gpuDeps)
             deps.push_back(gpuJobFor(dep));
-        graph.add("figure:" + def->id,
-                  [&ctx, &outputs, i, def] {
-                      outputs[i] = def->build(ctx);
-                  },
-                  std::move(deps));
+        figureJobIds[i] = graph.add("figure:" + def->id,
+                                    [&ctx, &outputs, i, def] {
+                                        outputs[i] = def->build(ctx);
+                                    },
+                                    std::move(deps));
     }
+
+    if (opt.deadlineMs > 0.0)
+        for (auto &job : graph.jobs())
+            job.softDeadlineMs = opt.deadlineMs;
 
     support::StreamProgressReporter progress(graph.size(), stderr,
                                              !opt.quiet);
@@ -279,18 +321,38 @@ main(int argc, char **argv)
                         .count();
 
     // Figure text in requested order, independent of execution
-    // schedule.
-    for (size_t i = 0; i < figures.size(); ++i) {
-        std::printf("===== %s =====\n\n", figures[i]->title.c_str());
-        std::fputs(outputs[i].c_str(), stdout);
-        std::fputs("\n", stdout);
+    // schedule. A failed run degrades per --keep-going: completed
+    // figures are emitted byte-identical to a clean run and failed
+    // ones become deterministic MISSING markers (the marker text
+    // depends only on the error class and message, never on timing).
+    // Without --keep-going a failed run is all-or-nothing: figure
+    // output is suppressed and the stderr summary explains why.
+    if (allOk || opt.keepGoing) {
+        for (size_t i = 0; i < figures.size(); ++i) {
+            std::printf("===== %s =====\n\n",
+                        figures[i]->title.c_str());
+            const driver::Job &job = graph.job(figureJobIds[i]);
+            if (job.status == driver::JobStatus::Done) {
+                std::fputs(outputs[i].c_str(), stdout);
+            } else {
+                std::printf("MISSING(%s)\n",
+                            driver::errorClassName(job.errorClass));
+                std::printf("figure '%s' did not complete: %s\n",
+                            figures[i]->id.c_str(),
+                            job.error.c_str());
+            }
+            std::fputs("\n", stdout);
+        }
     }
 
     if (opt.summary) {
         Table t("Job accounting");
-        t.setHeader({"Job", "Status", "Wall (ms)"});
+        t.setHeader({"Job", "Status", "Class", "Attempts",
+                     "Wall (ms)"});
         for (const auto &job : graph.jobs())
             t.addRow({job.name, driver::jobStatusName(job.status),
+                      driver::errorClassName(job.errorClass),
+                      std::to_string(job.attempts),
                       Table::fmt(job.wallMs, 1)});
         std::fputs(t.render().c_str(), stdout);
         std::printf("\n%zu jobs on %d threads: %.1f ms wall, "
@@ -375,18 +437,32 @@ main(int argc, char **argv)
                         ? double(totalCycles) / totalSimSeconds / 1e6
                         : 0.0);
         std::printf("result store: %llu hits / %llu misses / "
-                    "%llu publish failures\n",
+                    "%llu publish failures / %llu orphaned tmp "
+                    "collected\n",
                     (unsigned long long)store.hits(),
                     (unsigned long long)store.misses(),
-                    (unsigned long long)store.publishFailures());
+                    (unsigned long long)store.publishFailures(),
+                    (unsigned long long)store.tmpCollected());
     }
 
     if (!allOk) {
-        for (const auto &job : graph.jobs()) {
-            if (job.status == driver::JobStatus::Failed)
-                std::fprintf(stderr, "FAILED: %s: %s\n",
-                             job.name.c_str(), job.error.c_str());
+        auto failures = driver::collectFailures(graph);
+        size_t failed = 0;
+        size_t skipped = 0;
+        for (const auto &f : failures) {
+            if (f.cls == driver::ErrorClass::Skipped)
+                ++skipped;
+            else
+                ++failed;
+            std::fprintf(stderr, "FAILED: %s\n", f.format().c_str());
         }
+        std::fprintf(stderr,
+                     "experiments: %zu job(s) failed, %zu skipped%s\n",
+                     failed, skipped,
+                     opt.keepGoing
+                         ? "; completable figures were emitted"
+                         : "; figure output suppressed (use "
+                           "--keep-going for partial results)");
         return 1;
     }
     return 0;
