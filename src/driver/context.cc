@@ -5,9 +5,11 @@
 #include <sstream>
 
 #include "driver/executor.hh"
+#include "driver/tracing.hh"
 #include "support/cancel.hh"
 #include "support/faultinject.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 
 namespace rodinia {
 namespace driver {
@@ -78,32 +80,58 @@ Context::cpu(const std::string &name, core::Scale scale, int threads)
     // call_once keeps concurrent requesters from duplicating the
     // (expensive) characterization and propagates exceptions.
     std::call_once(entry->once, [&] {
+        auto t0 = std::chrono::steady_clock::now();
         core::registerAllWorkloads();
         auto key = cpuCharKey(name, scale, threads);
+        bool fromStore = false;
         if (store) {
             if (auto payload = store->load(key)) {
                 if (parseCpuChar(*payload, entry->value))
-                    return;
-                // Unusable entry: drop it so the recompute below
-                // republishes a good one instead of every future run
-                // re-hitting the corrupt bytes.
-                store->discard(key);
+                    fromStore = true;
+                else
+                    // Unusable entry: drop it so the recompute below
+                    // republishes a good one instead of every future
+                    // run re-hitting the corrupt bytes.
+                    store->discard(key);
             }
         }
-        // Stall site + checkpoint sit after the store hit path: a
-        // warm entry is always served, only real compute is
-        // stallable/cancellable.
-        support::FaultInjector::instance().maybeStall(
-            "cpu:" + keyName.str());
-        support::checkpointCancellation();
-        auto w = core::Registry::instance().create(name);
-        entry->value = core::characterizeCpu(*w, scale, threads);
-        if (store)
-            store->store(key, serializeCpuChar(entry->value));
-        std::lock_guard<std::mutex> lock(mu);
-        sweepTelemetry.push_back({keyName.str(),
-                                  entry->value.sweepLineAccesses,
-                                  entry->value.sweepReplaySeconds});
+        if (!fromStore) {
+            // Stall site + checkpoint sit after the store hit path:
+            // a warm entry is always served, only real compute is
+            // stallable/cancellable.
+            support::FaultInjector::instance().maybeStall(
+                "cpu:" + keyName.str());
+            support::checkpointCancellation();
+            auto w = core::Registry::instance().create(name);
+            entry->value = core::characterizeCpu(*w, scale, threads);
+            if (store)
+                store->store(key, serializeCpuChar(entry->value));
+            support::metrics::count("cachesim.chars_computed");
+            support::metrics::countLabeled(
+                "cachesim.sweep.line_accesses", keyName.str(),
+                entry->value.sweepLineAccesses);
+            support::metrics::countLabeled(
+                "cachesim.sweep.wall_us", keyName.str(),
+                uint64_t(entry->value.sweepReplaySeconds * 1e6),
+                support::metrics::Stability::Volatile);
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                sweepTelemetry.push_back(
+                    {keyName.str(),
+                     entry->value.sweepLineAccesses,
+                     entry->value.sweepReplaySeconds});
+            }
+        } else {
+            support::metrics::count("cachesim.chars_served");
+        }
+        if (auto *tc = TraceCollector::active())
+            tc->record("cachesim", "cpu-char",
+                       TraceArgs()
+                           .str("key", keyName.str())
+                           .str("source",
+                                fromStore ? "store" : "computed")
+                           .json(),
+                       t0, std::chrono::steady_clock::now());
     });
     return entry->value;
 }
@@ -177,35 +205,79 @@ Context::gpuStats(const std::string &name, core::Scale scale,
         entry = slot.get();
     }
     std::call_once(entry->once, [&] {
+        auto span0 = std::chrono::steady_clock::now();
         // The recording is needed even on a store hit: its content
         // hash is part of the key (a changed recording must not be
         // served stale stats).
         const gpusim::LaunchSequence &seq = gpu(name, scale, version);
         uint64_t rec_hash = recordingHash(name, scale, version);
         auto key = gpuStatsKey(name, scale, version, fp, rec_hash);
+        bool fromStore = false;
         if (store) {
             if (auto payload = store->load(key)) {
-                if (gpusim::parseKernelStats(*payload, entry->value)) {
-                    nGpuStoreHits.fetch_add(1);
-                    return;
-                }
-                store->discard(key);
+                if (gpusim::parseKernelStats(*payload, entry->value))
+                    fromStore = true;
+                else
+                    store->discard(key);
             }
         }
-        support::FaultInjector::instance().maybeStall(
-            "sim:" + keyName.str());
-        support::checkpointCancellation();
-        auto t0 = std::chrono::steady_clock::now();
-        gpusim::TimingSim sim(config);
-        entry->value = sim.simulate(seq);
-        std::chrono::duration<double> dt =
-            std::chrono::steady_clock::now() - t0;
-        if (store)
-            store->store(key,
-                         gpusim::serializeKernelStats(entry->value));
-        std::lock_guard<std::mutex> lock(mu);
-        gpuSimTelemetry.push_back(
-            {keyName.str(), entry->value.cycles, dt.count()});
+        if (!fromStore) {
+            support::FaultInjector::instance().maybeStall(
+                "sim:" + keyName.str());
+            support::checkpointCancellation();
+            auto t0 = std::chrono::steady_clock::now();
+            gpusim::TimingSim sim(config);
+            entry->value = sim.simulate(seq);
+            std::chrono::duration<double> dt =
+                std::chrono::steady_clock::now() - t0;
+            if (store)
+                store->store(
+                    key, gpusim::serializeKernelStats(entry->value));
+            uint64_t simUs = uint64_t(dt.count() * 1e6);
+            support::metrics::count("gpusim.sims_run");
+            support::metrics::count("gpusim.cycles",
+                                    entry->value.cycles);
+            support::metrics::countLabeled("gpusim.sim.cycles",
+                                           keyName.str(),
+                                           entry->value.cycles);
+            support::metrics::countLabeled(
+                "gpusim.sim.wall_us", keyName.str(), simUs,
+                support::metrics::Stability::Volatile);
+            support::metrics::observe("gpusim.sim_wall_us", simUs);
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                gpuSimTelemetry.push_back(
+                    {keyName.str(), entry->value.cycles, dt.count()});
+            }
+        } else {
+            nGpuStoreHits.fetch_add(1);
+            support::metrics::count("gpusim.store_served");
+        }
+        if (auto *tc = TraceCollector::active()) {
+            // Per-sim cycles, cache hit rates, and the stall
+            // breakdown (channel occupancy, bank-conflict
+            // serialization) straight from the timing model's
+            // KernelStats — identical whether simulated or
+            // store-served, so trace args stay deterministic.
+            const gpusim::KernelStats &s = entry->value;
+            tc->record("gpusim", "sim",
+                       TraceArgs()
+                           .str("key", keyName.str())
+                           .str("source",
+                                fromStore ? "store" : "simulated")
+                           .num("cycles", s.cycles)
+                           .num("warp_insns", s.warpInstructions)
+                           .num("channel_busy_cycles",
+                                s.channelBusyCycles)
+                           .num("bank_conflict_extra_cycles",
+                                s.bankConflictExtraCycles)
+                           .num("l1_hits", s.l1Hits)
+                           .num("l1_misses", s.l1Misses)
+                           .num("l2_hits", s.l2Hits)
+                           .num("l2_misses", s.l2Misses)
+                           .json(),
+                       span0, std::chrono::steady_clock::now());
+        }
     });
     return entry->value;
 }

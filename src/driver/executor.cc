@@ -11,8 +11,10 @@
 #include <vector>
 
 #include "driver/failure.hh"
+#include "driver/tracing.hh"
 #include "support/cancel.hh"
 #include "support/faultinject.hh"
+#include "support/metrics.hh"
 
 namespace rodinia {
 namespace driver {
@@ -74,6 +76,11 @@ struct Executor::Impl
         std::vector<size_t> skipCause; //!< failed dep behind depFailed
         std::vector<std::vector<size_t>> dependents;
         std::vector<RunningSlot> running; //!< guarded by mu
+        /** When each job was (re)submitted to the pool; written
+         *  before submit(), whose queue mutex publishes it to the
+         *  worker that later claims the task. Feeds the queue-wait
+         *  span and histogram. */
+        std::vector<std::chrono::steady_clock::time_point> submitted;
     };
 
     static void executeJob(const std::shared_ptr<RunCtx> &ctx,
@@ -162,6 +169,12 @@ Executor::Impl::tryRunOne(int self)
             if (!victim.q.empty()) {
                 task = std::move(victim.q.front());
                 victim.q.pop_front();
+                // Only workers steal; an outsider draining via the
+                // cursor is load distribution, not a steal.
+                if (self >= 0)
+                    support::metrics::Registry::global().countAdd(
+                        "executor.steals", "", 1,
+                        support::metrics::Stability::Volatile);
             }
         }
     }
@@ -259,11 +272,25 @@ Executor::Impl::completeJob(const std::shared_ptr<RunCtx> &ctx,
             ctx->progress->jobFailed(ctx->graph->job(id).name, error,
                                      status == JobStatus::Skipped);
     }
+    // Lifecycle counters go straight to the global registry, never
+    // through a job transaction: a failed job must still count as
+    // failed even though its work-body metrics are dropped.
+    {
+        auto &reg = support::metrics::Registry::global();
+        const char *metric =
+            status == JobStatus::Done      ? "executor.jobs_done"
+            : status == JobStatus::Skipped ? "executor.jobs_skipped"
+                                           : "executor.jobs_failed";
+        reg.countAdd(metric, "", 1,
+                     support::metrics::Stability::Stable);
+    }
     for (auto &skip : skips)
         completeJob(ctx, skip.first, JobStatus::Skipped, 0.0,
                     skip.second, ErrorClass::Skipped, 0);
-    for (size_t r : ready)
+    for (size_t r : ready) {
+        ctx->submitted[r] = std::chrono::steady_clock::now();
         ctx->impl->submit([ctx, r] { executeJob(ctx, r); });
+    }
     if (lastJob) {
         // Notify under the lock so the waiter in run() cannot wake,
         // observe finished == total, and return between our predicate
@@ -300,6 +327,26 @@ Executor::Impl::executeJob(const std::shared_ptr<RunCtx> &ctx, size_t id)
 
     auto &injector = support::FaultInjector::instance();
     auto t0 = std::chrono::steady_clock::now();
+    auto *tc = TraceCollector::active();
+    auto &reg = support::metrics::Registry::global();
+    constexpr auto kVolatile = support::metrics::Stability::Volatile;
+    if (tc)
+        tc->record("executor", "queue-wait",
+                   TraceArgs().str("job", name).json(),
+                   ctx->submitted[id], t0);
+    reg.observe("executor.queue_wait_us", "",
+                uint64_t(std::chrono::duration_cast<
+                             std::chrono::microseconds>(
+                             t0 - ctx->submitted[id])
+                             .count()),
+                kVolatile);
+    // Work-body metrics accumulate in a per-job transaction that is
+    // committed to the global registry only if the job eventually
+    // succeeds (carried across retry attempts, since a later
+    // attempt may memo-hit work a failed one finished). A job that
+    // fails for good drops its transaction whole — no
+    // partially-merged counters ever reach --stats/--metrics.
+    support::metrics::Registry txn;
     JobStatus status = JobStatus::Done;
     std::string error;
     ErrorClass cls = ErrorClass::None;
@@ -312,8 +359,27 @@ Executor::Impl::executeJob(const std::shared_ptr<RunCtx> &ctx, size_t id)
                                 std::chrono::steady_clock::now(),
                                 deadlineMs};
         }
+        auto attemptStart = std::chrono::steady_clock::now();
+        auto attemptSpan = [&](const char *outcome) {
+            auto end = std::chrono::steady_clock::now();
+            if (tc)
+                tc->record("executor", "attempt",
+                           TraceArgs()
+                               .str("job", name)
+                               .num("attempt", uint64_t(attempt))
+                               .str("outcome", outcome)
+                               .json(),
+                           attemptStart, end);
+            reg.observe("executor.attempt_wall_us", "",
+                        uint64_t(std::chrono::duration_cast<
+                                     std::chrono::microseconds>(
+                                     end - attemptStart)
+                                     .count()),
+                        kVolatile);
+        };
         try {
             support::CancelScope scope(token.get());
+            support::metrics::SinkScope msink(&txn);
             injector.maybeFailJob(name, attempt);
             injector.maybeStall("job:" + name);
             {
@@ -322,6 +388,7 @@ Executor::Impl::executeJob(const std::shared_ptr<RunCtx> &ctx, size_t id)
                 support::AllocFaultScope allocFaults(name);
                 ctx->graph->job(id).work();
             }
+            attemptSpan("ok");
             break; // success
         } catch (...) {
             Classified c = classifyCurrentException();
@@ -330,21 +397,37 @@ Executor::Impl::executeJob(const std::shared_ptr<RunCtx> &ctx, size_t id)
                 ctx->running[id] = RunningSlot{};
             }
             if (c.transient && attempt < maxAttempts) {
+                attemptSpan("retry");
+                reg.countAdd("executor.retries", "", 1,
+                             support::metrics::Stability::Stable);
                 int shift = std::min(attempt - 1, 20);
                 int backoffMs =
                     std::min(policy.backoffCapMs,
                              policy.backoffBaseMs << shift);
-                if (backoffMs > 0)
+                if (backoffMs > 0) {
+                    auto b0 = std::chrono::steady_clock::now();
                     std::this_thread::sleep_for(
                         std::chrono::milliseconds(backoffMs));
+                    if (tc)
+                        tc->record(
+                            "executor", "backoff",
+                            TraceArgs()
+                                .str("job", name)
+                                .num("attempt", uint64_t(attempt))
+                                .json(),
+                            b0, std::chrono::steady_clock::now());
+                }
                 continue;
             }
+            attemptSpan(errorClassName(c.cls));
             status = JobStatus::Failed;
             error = c.message;
             cls = c.cls;
             break;
         }
     }
+    if (status == JobStatus::Done)
+        txn.drainInto(reg);
     {
         std::lock_guard<std::mutex> lock(ctx->mu);
         ctx->running[id] = RunningSlot{};
@@ -408,6 +491,8 @@ Executor::run(JobGraph &graph, support::ProgressReporter *progress)
     ctx->skipCause.assign(total, 0);
     ctx->dependents.resize(total);
     ctx->running.assign(total, Impl::RunningSlot{});
+    ctx->submitted.assign(total,
+                          std::chrono::steady_clock::time_point{});
 
     // Roots are read off the immutable graph structure before any
     // submission. The previous version seeded by scanning the mutable
@@ -432,8 +517,10 @@ Executor::run(JobGraph &graph, support::ProgressReporter *progress)
     if (anyDeadline)
         watchdog = std::thread([ctx] { Impl::watchdogLoop(ctx); });
 
-    for (size_t r : roots)
+    for (size_t r : roots) {
+        ctx->submitted[r] = std::chrono::steady_clock::now();
         impl->submit([ctx, r] { Impl::executeJob(ctx, r); });
+    }
 
     {
         std::unique_lock<std::mutex> lock(ctx->mu);
@@ -462,6 +549,8 @@ Executor::parallelFor(size_t n, const std::function<void(size_t)> &fn)
         size_t n = 0;
         const std::function<void(size_t)> *fn = nullptr;
         const support::CancelToken *token = nullptr;
+        //! caller's metric-sink override (job txn), for helpers
+        support::metrics::Registry *sink = nullptr;
         std::mutex mu;
         std::condition_variable cv;
         //! every failed iteration's (index, exception); guarded by mu
@@ -474,6 +563,10 @@ Executor::parallelFor(size_t n, const std::function<void(size_t)> &fn)
     // watchdog-cancelled job's nested sweep iterations observe the
     // cancellation at their own checkpoints.
     st->token = support::currentCancelToken();
+    // Ditto for the metric sink: helper iterations of a job's sweep
+    // must charge the same per-job transaction as the caller, or a
+    // failed job would leak partial helper-side counters.
+    st->sink = support::metrics::currentSinkOverride();
 
     // Claim protocol: active is raised *before* the claim so that
     // "next >= n && active == 0" proves no iteration is running or
@@ -482,6 +575,7 @@ Executor::parallelFor(size_t n, const std::function<void(size_t)> &fn)
     // lifetime ends when parallelFor returns).
     auto drain = [](PfState *s) {
         support::CancelScope scope(s->token);
+        support::metrics::SinkScope msink(s->sink);
         for (;;) {
             s->active.fetch_add(1);
             size_t i = s->next.fetch_add(1);

@@ -1,16 +1,19 @@
 #include "driver/figures.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <sstream>
 #include <tuple>
 
+#include "driver/tracing.hh"
 #include "gpusim/recorder.hh"
 #include "gpusim/replay.hh"
 #include "gpusim/timing.hh"
 #include "stats/cluster.hh"
 #include "stats/pca.hh"
 #include "stats/plackett_burman.hh"
+#include "support/metrics.hh"
 #include "support/rng.hh"
 #include "support/table.hh"
 
@@ -790,6 +793,23 @@ findFigure(const std::string &id)
         if (f.id == id)
             return &f;
     return nullptr;
+}
+
+std::string
+buildFigure(const FigureDef &def, Context &ctx)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    std::string out = def.build(ctx);
+    auto t1 = std::chrono::steady_clock::now();
+    support::metrics::count("figures.built");
+    support::metrics::gaugeLabeled(
+        "figures.wall_us", def.id,
+        uint64_t(std::chrono::duration_cast<
+                     std::chrono::microseconds>(t1 - t0)
+                     .count()));
+    if (auto *tc = TraceCollector::active())
+        tc->record("figure", def.id, "{}", t0, t1);
+    return out;
 }
 
 } // namespace driver

@@ -53,6 +53,16 @@ const std::vector<FigureDef> &allFigures();
 const FigureDef *findFigure(const std::string &id);
 
 /**
+ * Run a figure's builder with observability: a "figure" trace span
+ * named after the figure id, a figures.built counter, and a
+ * per-figure wall-time gauge (figures.wall_us, labeled by id).
+ * Returns exactly def.build(ctx) — instrumentation never alters the
+ * figure text, so this wrapper and a direct builder call stay
+ * byte-identical.
+ */
+std::string buildFigure(const FigureDef &def, Context &ctx);
+
+/**
  * Render an ASCII scatter plot (Figures 7-9): Rodinia points print
  * as 'x', Parsec as 'o', StreamCluster (both suites) as '#'; a
  * legend lists the exact coordinates.

@@ -3,13 +3,29 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <fstream>
 #include <sstream>
 #include <thread>
 
+#include "driver/tracing.hh"
 #include "support/faultinject.hh"
 #include "support/hash.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
+
+namespace {
+
+uint64_t
+elapsedUs(std::chrono::steady_clock::time_point t0)
+{
+    return uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+} // namespace
 
 namespace rodinia {
 namespace driver {
@@ -30,6 +46,8 @@ ResultStore::ResultStore(std::filesystem::path dir, bool enabled,
 void
 ResultStore::collectTmpGarbage()
 {
+    auto t0 = std::chrono::steady_clock::now();
+    uint64_t collected = 0;
     std::error_code ec;
     // The ec overload degrades to an empty range when the directory
     // does not exist yet.
@@ -45,9 +63,16 @@ ResultStore::collectTmpGarbage()
             continue;
         }
         std::error_code rmEc;
-        if (std::filesystem::remove(entry.path(), rmEc) && !rmEc)
+        if (std::filesystem::remove(entry.path(), rmEc) && !rmEc) {
             nTmpCollected.fetch_add(1);
+            ++collected;
+        }
     }
+    support::metrics::count("store.tmp_collected", collected);
+    if (auto *tc = TraceCollector::active())
+        tc->record("store", "gc",
+                   TraceArgs().num("collected", collected).json(),
+                   t0, std::chrono::steady_clock::now());
 }
 
 uint64_t
@@ -81,23 +106,34 @@ ResultStore::pathFor(const Key &key) const
 std::optional<std::string>
 ResultStore::load(const Key &key) const
 {
-    if (!on) {
-        nMisses.fetch_add(1);
-        return std::nullopt;
+    auto t0 = std::chrono::steady_clock::now();
+    std::filesystem::path path = pathFor(key);
+    std::optional<std::string> out;
+    if (on) {
+        std::ifstream in(path, std::ios::binary);
+        if (in) {
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            if (in.good() || in.eof())
+                out = buf.str();
+        }
     }
-    std::ifstream in(pathFor(key), std::ios::binary);
-    if (!in) {
+    if (out) {
+        nHits.fetch_add(1);
+        support::metrics::count("store.hits");
+    } else {
         nMisses.fetch_add(1);
-        return std::nullopt;
+        support::metrics::count("store.misses");
     }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    if (!in.good() && !in.eof()) {
-        nMisses.fetch_add(1);
-        return std::nullopt;
-    }
-    nHits.fetch_add(1);
-    return buf.str();
+    support::metrics::observe("store.load_us", elapsedUs(t0));
+    if (auto *tc = TraceCollector::active())
+        tc->record("store", "load",
+                   TraceArgs()
+                       .str("entry", path.filename().string())
+                       .str("outcome", out ? "hit" : "miss")
+                       .json(),
+                   t0, std::chrono::steady_clock::now());
+    return out;
 }
 
 namespace {
@@ -134,8 +170,13 @@ writeAllDurably(const std::filesystem::path &path,
         p += n;
         left -= size_t(n);
     }
-    bool ok = !injector.failFile(support::FaultOp::Fsync, faultKey) &&
-              ::fsync(fd) == 0;
+    bool ok = false;
+    if (!injector.failFile(support::FaultOp::Fsync, faultKey)) {
+        auto f0 = std::chrono::steady_clock::now();
+        ok = ::fsync(fd) == 0;
+        rodinia::support::metrics::observe("store.fsync_us",
+                                           elapsedUs(f0));
+    }
     return (::close(fd) == 0) && ok;
 }
 
@@ -158,6 +199,24 @@ ResultStore::store(const Key &key, const std::string &payload) const
 {
     if (!on)
         return true; // disabled stores have nothing to publish
+    auto t0 = std::chrono::steady_clock::now();
+    bool ok = doStore(key, payload);
+    support::metrics::count(ok ? "store.publishes"
+                               : "store.publish_failures");
+    support::metrics::observe("store.publish_us", elapsedUs(t0));
+    if (auto *tc = TraceCollector::active())
+        tc->record("store", "publish",
+                   TraceArgs()
+                       .str("entry", pathFor(key).filename().string())
+                       .str("outcome", ok ? "ok" : "fail")
+                       .json(),
+                   t0, std::chrono::steady_clock::now());
+    return ok;
+}
+
+bool
+ResultStore::doStore(const Key &key, const std::string &payload) const
+{
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     if (ec) {
@@ -216,9 +275,12 @@ ResultStore::discard(const Key &key) const
     if (!std::filesystem::remove(path, ec) || ec)
         return; // nothing removed — nothing to reclassify
     // The load that surfaced the bad payload was counted as a hit;
-    // the caller is about to recompute, so reclassify it.
+    // the caller is about to recompute, so reclassify it. The
+    // registry keeps raw observed outcomes instead (counters never
+    // decrement); discards are visible as their own metric.
     nHits.fetch_sub(1);
     nMisses.fetch_add(1);
+    support::metrics::count("store.discards");
 }
 
 ResultStore::Key

@@ -109,6 +109,8 @@ class ResultStore
 
   private:
     void collectTmpGarbage();
+    /** The uninstrumented publish protocol behind store(). */
+    bool doStore(const Key &key, const std::string &payload) const;
 
     std::filesystem::path dir;
     bool on;

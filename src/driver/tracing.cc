@@ -1,0 +1,134 @@
+#include "driver/tracing.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "support/metrics.hh"
+
+namespace rodinia {
+namespace driver {
+
+using support::metrics::jsonEscape;
+
+std::atomic<TraceCollector *> TraceCollector::current{nullptr};
+
+TraceArgs &
+TraceArgs::str(std::string_view key, std::string_view value)
+{
+    body += (body.empty() ? "\"" : ",\"") + jsonEscape(key) +
+            "\":\"" + jsonEscape(value) + "\"";
+    return *this;
+}
+
+TraceArgs &
+TraceArgs::num(std::string_view key, uint64_t value)
+{
+    body += (body.empty() ? "\"" : ",\"") + jsonEscape(key) +
+            "\":" + std::to_string(value);
+    return *this;
+}
+
+void
+TraceCollector::record(std::string_view cat, std::string_view name,
+                       std::string argsJson, Clock::time_point start,
+                       Clock::time_point end)
+{
+    auto us = [this](Clock::time_point t) -> uint64_t {
+        if (t <= t0)
+            return 0;
+        return uint64_t(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                t - t0)
+                .count());
+    };
+    Event e;
+    e.cat = std::string(cat);
+    e.name = std::string(name);
+    e.args = std::move(argsJson);
+    e.tsUs = us(start);
+    e.durUs = end > start ? us(end) - e.tsUs : 0;
+    std::lock_guard<std::mutex> lock(mu);
+    events.push_back(std::move(e));
+}
+
+size_t
+TraceCollector::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return events.size();
+}
+
+std::string
+TraceCollector::render() const
+{
+    std::vector<Event> sorted;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        sorted = events;
+    }
+    // Content identity first, wall clock only as a tiebreaker:
+    // events that differ only in timing collapse to identical lines
+    // once the determinism tests strip ts/dur, so residual timing
+    // ties cannot reorder distinguishable lines.
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Event &a, const Event &b) {
+                  if (a.cat != b.cat)
+                      return a.cat < b.cat;
+                  if (a.name != b.name)
+                      return a.name < b.name;
+                  if (a.args != b.args)
+                      return a.args < b.args;
+                  if (a.tsUs != b.tsUs)
+                      return a.tsUs < b.tsUs;
+                  return a.durUs < b.durUs;
+              });
+
+    // One virtual thread per category, numbered in sorted-category
+    // order — never from OS thread ids, which are
+    // schedule-dependent.
+    std::map<std::string, int> tids;
+    for (const Event &e : sorted)
+        tids.emplace(e.cat, 0);
+    int next = 1;
+    for (auto &[cat, tid] : tids)
+        tid = next++;
+
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    // Each event is one line; continuation lines lead with the
+    // comma so every line ends at its event's closing brace (the
+    // strip rule depends on that).
+    const char *sep = "\n";
+    for (const auto &[cat, tid] : tids) {
+        os << sep << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+           << jsonEscape(cat) << "\"}}";
+        sep = ",\n";
+    }
+    for (const Event &e : sorted) {
+        os << sep << "{\"ph\":\"X\",\"pid\":1,\"tid\":"
+           << tids[e.cat] << ",\"cat\":\"" << jsonEscape(e.cat)
+           << "\",\"name\":\"" << jsonEscape(e.name)
+           << "\",\"args\":" << (e.args.empty() ? "{}" : e.args)
+           << ",\"ts\":" << e.tsUs << ",\"dur\":" << e.durUs << "}";
+        sep = ",\n";
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+bool
+TraceCollector::writeFile(const std::filesystem::path &path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << render();
+    out.flush();
+    return bool(out);
+}
+
+} // namespace driver
+} // namespace rodinia

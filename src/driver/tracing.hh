@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Span-based tracing with Chrome trace_event JSON export.
+ *
+ * A TraceCollector buffers completed spans — (category, name, args,
+ * start, end) — recorded from any thread, and renders them as a
+ * Chrome/Perfetto-loadable `{"traceEvents":[...]}` document
+ * (chrome://tracing, https://ui.perfetto.dev). The instrumented
+ * seams record through TraceCollector::active(), a process-wide
+ * pointer installed by `experiments --trace`; when no collector is
+ * installed, record sites cost one relaxed atomic load.
+ *
+ * Determinism rules (the --trace determinism test pins these):
+ *
+ *  - Events are sorted by (category, name, args) — their stable
+ *    content identity — with wall-clock fields only breaking ties.
+ *    The executor schedule can reorder *recording*, never output.
+ *
+ *  - The rendered `tid` is derived from the sorted category list
+ *    (one virtual thread per category, announced with thread_name
+ *    metadata events), never from OS thread ids, which are
+ *    schedule-dependent.
+ *
+ *  - Each event is one line with the wall-clock fields ("ts",
+ *    "dur", microseconds relative to collector creation) rendered
+ *    LAST, so stripping a line from `,"ts":` to its closing brace
+ *    removes exactly the nondeterministic remainder.
+ *
+ * Args strings are built with TraceArgs so every site emits a valid
+ * JSON object with deterministic member order.
+ */
+
+#ifndef RODINIA_DRIVER_TRACING_HH
+#define RODINIA_DRIVER_TRACING_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rodinia {
+namespace driver {
+
+/** Incremental JSON-object builder for span args. Member order is
+ *  insertion order, so identical call sites render identically. */
+class TraceArgs
+{
+  public:
+    TraceArgs &str(std::string_view key, std::string_view value);
+    TraceArgs &num(std::string_view key, uint64_t value);
+    /** The accumulated members as one JSON object. */
+    std::string json() const { return "{" + body + "}"; }
+
+  private:
+    std::string body;
+};
+
+class TraceCollector
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    TraceCollector() : t0(Clock::now()) {}
+
+    /** Buffer one completed span. Thread-safe. */
+    void record(std::string_view cat, std::string_view name,
+                std::string argsJson, Clock::time_point start,
+                Clock::time_point end);
+
+    /** Render the Chrome trace_event JSON document. */
+    std::string render() const;
+
+    /** Render to a file. @return false on any IO failure. */
+    bool writeFile(const std::filesystem::path &path) const;
+
+    size_t eventCount() const;
+
+    /** The process-wide collector, or nullptr when tracing is off. */
+    static TraceCollector *
+    active()
+    {
+        return current.load(std::memory_order_acquire);
+    }
+
+    /** Install @p tc as the process collector (nullptr uninstalls).
+     *  Not synchronized against in-flight record() calls: install
+     *  before starting work, uninstall after it settles. */
+    static void
+    install(TraceCollector *tc)
+    {
+        current.store(tc, std::memory_order_release);
+    }
+
+  private:
+    struct Event
+    {
+        std::string cat;
+        std::string name;
+        std::string args;
+        uint64_t tsUs = 0;
+        uint64_t durUs = 0;
+    };
+
+    Clock::time_point t0;
+    mutable std::mutex mu;
+    std::vector<Event> events;
+    static std::atomic<TraceCollector *> current;
+};
+
+} // namespace driver
+} // namespace rodinia
+
+#endif // RODINIA_DRIVER_TRACING_HH

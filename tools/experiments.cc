@@ -16,6 +16,7 @@
  *   experiments [--figure <id>|all] [--jobs N] [--no-cache]
  *               [--cache-dir DIR] [--quiet] [--no-summary] [--list]
  *               [--stats] [--keep-going] [--deadline MS]
+ *               [--trace FILE] [--metrics FILE]
  *
  * Failure behavior: job failures never abort the process — the
  * executor isolates them, retries transient classes, and skips
@@ -45,7 +46,9 @@
 #include "driver/figures.hh"
 #include "driver/job.hh"
 #include "driver/result_store.hh"
+#include "driver/tracing.hh"
 #include "support/hash.hh"
+#include "support/metrics.hh"
 #include "support/progress.hh"
 #include "support/table.hh"
 
@@ -69,7 +72,9 @@ struct Options
     bool list = false;
     bool stats = false;
     bool keepGoing = false;
-    double deadlineMs = 0.0; //!< per-job soft deadline; 0 = off
+    double deadlineMs = 0.0;  //!< per-job soft deadline; 0 = off
+    std::string traceOut;     //!< Chrome trace_event JSON path
+    std::string metricsOut;   //!< metrics registry JSON path
 };
 
 void
@@ -94,7 +99,14 @@ usage(const char *argv0)
         "                 as MISSING(<error-class>) markers\n"
         "  --deadline MS  soft per-job watchdog deadline in ms; an\n"
         "                 over-deadline job is cancelled\n"
-        "                 cooperatively and fails as 'deadline'\n",
+        "                 cooperatively and fails as 'deadline'\n"
+        "  --trace FILE   write a Chrome trace_event JSON span\n"
+        "                 trace (executor, store, gpusim, cachesim,\n"
+        "                 figure categories; load in chrome://tracing\n"
+        "                 or ui.perfetto.dev)\n"
+        "  --metrics FILE write the metrics registry as JSON\n"
+        "                 (deterministic \"stable\" section, then\n"
+        "                 wall-clock \"volatile\" section)\n",
         argv0);
 }
 
@@ -167,6 +179,16 @@ parseArgs(int argc, char **argv, Options &opt)
                 return false;
             }
             opt.deadlineMs = double(n);
+        } else if (!std::strcmp(arg, "--trace")) {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            opt.traceOut = v;
+        } else if (!std::strcmp(arg, "--metrics")) {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            opt.metricsOut = v;
         } else if (!std::strcmp(arg, "--help") ||
                    !std::strcmp(arg, "-h")) {
             usage(argv[0]);
@@ -249,6 +271,12 @@ main(int argc, char **argv)
 
     core::registerAllWorkloads();
 
+    // The collector must be live before the store opens so the
+    // orphan-GC span at open is captured.
+    driver::TraceCollector trace;
+    if (!opt.traceOut.empty())
+        driver::TraceCollector::install(&trace);
+
     driver::ResultStore store(opt.cacheDir, opt.cache);
     // More workers than hardware threads only adds contention (the
     // jobs are CPU-bound, never blocking on I/O), and figure output
@@ -301,11 +329,12 @@ main(int argc, char **argv)
             deps = cpuJobs;
         for (const auto &dep : def->gpuDeps)
             deps.push_back(gpuJobFor(dep));
-        figureJobIds[i] = graph.add("figure:" + def->id,
-                                    [&ctx, &outputs, i, def] {
-                                        outputs[i] = def->build(ctx);
-                                    },
-                                    std::move(deps));
+        figureJobIds[i] = graph.add(
+            "figure:" + def->id,
+            [&ctx, &outputs, i, def] {
+                outputs[i] = driver::buildFigure(*def, ctx);
+            },
+            std::move(deps));
     }
 
     if (opt.deadlineMs > 0.0)
@@ -363,26 +392,43 @@ main(int argc, char **argv)
                     (unsigned long long)store.misses());
     }
 
+    // One merged view feeds --stats, --metrics, or both. The
+    // registry holds only *committed* work: a job that failed under
+    // --keep-going dropped its metric transaction whole, so these
+    // tables never show partially-merged counters.
+    support::metrics::Snapshot snap =
+        support::metrics::Registry::global().snapshot();
+
     if (opt.stats) {
-        auto telemetry = ctx.sweepTelemetrySnapshot();
         Table t("Cache-sweep replay throughput");
         t.setHeader({"Characterization", "Line accesses", "Replay (s)",
                      "Maccess/s"});
         uint64_t totalAccesses = 0;
         double totalSeconds = 0.0;
-        for (const auto &s : telemetry) {
-            double rate = s.replaySeconds > 0.0
-                              ? double(s.lineAccesses) /
-                                    s.replaySeconds / 1e6
-                              : 0.0;
-            t.addRow({s.key, std::to_string(s.lineAccesses),
-                      Table::fmt(s.replaySeconds, 3),
-                      Table::fmt(rate, 1)});
-            totalAccesses += s.lineAccesses;
-            totalSeconds += s.replaySeconds;
+        const auto *sweepAcc =
+            snap.find("cachesim.sweep.line_accesses");
+        size_t sweeps = sweepAcc ? sweepAcc->values.size() : 0;
+        if (sweepAcc) {
+            // Registry labels are sorted, so the table order is
+            // deterministic (the old telemetry-vector rendering
+            // followed completion order).
+            for (const auto &[key, accesses] : sweepAcc->values) {
+                double seconds =
+                    double(snap.value("cachesim.sweep.wall_us",
+                                      key)) /
+                    1e6;
+                double rate = seconds > 0.0
+                                  ? double(accesses) / seconds / 1e6
+                                  : 0.0;
+                t.addRow({key, std::to_string(accesses),
+                          Table::fmt(seconds, 3),
+                          Table::fmt(rate, 1)});
+                totalAccesses += accesses;
+                totalSeconds += seconds;
+            }
         }
         std::fputs(t.render().c_str(), stdout);
-        if (telemetry.empty())
+        if (sweeps == 0)
             std::printf("no sweeps replayed this run (all "
                         "characterizations came from the store)\n");
         else
@@ -392,46 +438,54 @@ main(int argc, char **argv)
                         totalSeconds > 0.0 ? double(totalAccesses) /
                                                  totalSeconds / 1e6
                                            : 0.0);
-        auto sims = ctx.gpuSimTelemetrySnapshot();
         Table g("GPU timing-simulation telemetry");
         g.setHeader({"Simulation", "Cycles", "Sim (s)", "Mcycle/s"});
         uint64_t totalCycles = 0;
         double totalSimSeconds = 0.0;
-        for (const auto &s : sims) {
-            // The key's config component is the full fingerprint;
-            // compress it to a short digest so the table stays
-            // readable while distinct configs stay distinguishable.
-            std::string label = s.key;
-            size_t cfgAt = label.find('/');
-            cfgAt = cfgAt == std::string::npos
-                        ? std::string::npos
-                        : label.find('/', cfgAt + 1);
-            cfgAt = cfgAt == std::string::npos
-                        ? std::string::npos
-                        : label.find('/', cfgAt + 1);
-            if (cfgAt != std::string::npos) {
-                support::Fnv1a h;
-                h.field(std::string_view(label).substr(cfgAt + 1));
-                char tag[16];
-                std::snprintf(tag, sizeof(tag), "cfg=%08llx",
-                              (unsigned long long)(h.digest() &
-                                                   0xffffffffu));
-                label = label.substr(0, cfgAt + 1) + tag;
+        const auto *simCycles = snap.find("gpusim.sim.cycles");
+        size_t simsRun = simCycles ? simCycles->values.size() : 0;
+        if (simCycles) {
+            for (const auto &[key, cycles] : simCycles->values) {
+                // The key's config component is the full
+                // fingerprint; compress it to a short digest so the
+                // table stays readable while distinct configs stay
+                // distinguishable.
+                std::string label = key;
+                size_t cfgAt = label.find('/');
+                cfgAt = cfgAt == std::string::npos
+                            ? std::string::npos
+                            : label.find('/', cfgAt + 1);
+                cfgAt = cfgAt == std::string::npos
+                            ? std::string::npos
+                            : label.find('/', cfgAt + 1);
+                if (cfgAt != std::string::npos) {
+                    support::Fnv1a h;
+                    h.field(std::string_view(label).substr(cfgAt + 1));
+                    char tag[16];
+                    std::snprintf(tag, sizeof(tag), "cfg=%08llx",
+                                  (unsigned long long)(h.digest() &
+                                                       0xffffffffu));
+                    label = label.substr(0, cfgAt + 1) + tag;
+                }
+                double seconds =
+                    double(snap.value("gpusim.sim.wall_us", key)) /
+                    1e6;
+                double rate = seconds > 0.0
+                                  ? double(cycles) / seconds / 1e6
+                                  : 0.0;
+                g.addRow({label, std::to_string(cycles),
+                          Table::fmt(seconds, 3),
+                          Table::fmt(rate, 1)});
+                totalCycles += cycles;
+                totalSimSeconds += seconds;
             }
-            double rate = s.simSeconds > 0.0
-                              ? double(s.cycles) / s.simSeconds / 1e6
-                              : 0.0;
-            g.addRow({label, std::to_string(s.cycles),
-                      Table::fmt(s.simSeconds, 3),
-                      Table::fmt(rate, 1)});
-            totalCycles += s.cycles;
-            totalSimSeconds += s.simSeconds;
         }
         std::fputs(g.render().c_str(), stdout);
         std::printf("%zu sims run / %llu store-served: %llu cycles "
                     "simulated in %.3f s (%.1f Mcycle/s)\n",
-                    sims.size(),
-                    (unsigned long long)ctx.gpuStatsStoreHits(),
+                    simsRun,
+                    (unsigned long long)snap.value(
+                        "gpusim.store_served"),
                     (unsigned long long)totalCycles, totalSimSeconds,
                     totalSimSeconds > 0.0
                         ? double(totalCycles) / totalSimSeconds / 1e6
@@ -439,10 +493,37 @@ main(int argc, char **argv)
         std::printf("result store: %llu hits / %llu misses / "
                     "%llu publish failures / %llu orphaned tmp "
                     "collected\n",
-                    (unsigned long long)store.hits(),
-                    (unsigned long long)store.misses(),
-                    (unsigned long long)store.publishFailures(),
-                    (unsigned long long)store.tmpCollected());
+                    (unsigned long long)snap.value("store.hits"),
+                    (unsigned long long)snap.value("store.misses"),
+                    (unsigned long long)snap.value(
+                        "store.publish_failures"),
+                    (unsigned long long)snap.value(
+                        "store.tmp_collected"));
+    }
+
+    bool sidecarOk = true;
+    if (!opt.metricsOut.empty()) {
+        std::FILE *f = std::fopen(opt.metricsOut.c_str(), "wb");
+        if (f) {
+            std::string json = snap.renderJson();
+            sidecarOk = std::fwrite(json.data(), 1, json.size(), f) ==
+                            json.size() &&
+                        sidecarOk;
+            sidecarOk = std::fclose(f) == 0 && sidecarOk;
+        } else {
+            sidecarOk = false;
+        }
+        if (!sidecarOk)
+            std::fprintf(stderr, "experiments: cannot write %s\n",
+                         opt.metricsOut.c_str());
+    }
+    if (!opt.traceOut.empty()) {
+        driver::TraceCollector::install(nullptr);
+        if (!trace.writeFile(opt.traceOut)) {
+            std::fprintf(stderr, "experiments: cannot write %s\n",
+                         opt.traceOut.c_str());
+            sidecarOk = false;
+        }
     }
 
     if (!allOk) {
