@@ -184,8 +184,36 @@ Context::recordingHash(const std::string &name, core::Scale scale,
     }
     std::call_once(entry->once, [&] {
         entry->value = gpusim::contentHash(gpu(name, scale, version));
+        std::lock_guard<std::mutex> lock(mu);
+        doneKeys.insert("rhash:" + keyName.str());
     });
     return entry->value;
+}
+
+bool
+Context::gpuStatsWarm(const std::string &name, core::Scale scale,
+                      int version, const gpusim::SimConfig &config)
+{
+    std::string fp = config.fingerprint();
+    std::ostringstream recName;
+    recName << name << "/s" << int(scale) << "/v" << version;
+    std::string statsKey = recName.str() + "/" + fp;
+    uint64_t recHash = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (doneKeys.count("stats:" + statsKey))
+            return true;
+        if (!doneKeys.count("rhash:" + recName.str()))
+            return false;
+        // Completed entries are immutable, so the value is readable
+        // outside its call_once once the done key is present.
+        recHash = gpuHashEntries.at(recName.str())->value;
+    }
+    if (!store || !store->enabled())
+        return false;
+    auto key = gpuStatsKey(name, scale, version, fp, recHash);
+    std::error_code ec;
+    return std::filesystem::exists(store->pathFor(key), ec);
 }
 
 const gpusim::KernelStats &
@@ -278,6 +306,8 @@ Context::gpuStats(const std::string &name, core::Scale scale,
                            .json(),
                        span0, std::chrono::steady_clock::now());
         }
+        std::lock_guard<std::mutex> lock(mu);
+        doneKeys.insert("stats:" + keyName.str());
     });
     return entry->value;
 }

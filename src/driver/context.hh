@@ -21,6 +21,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -91,6 +92,21 @@ class Context
              const gpusim::SimConfig &config);
 
     /**
+     * Would gpuStats() for this key be served without running a
+     * simulation? True when the stats are already memoized in this
+     * Context, or when the recording's content hash is memoized and
+     * the result store holds a published entry for the key. A cheap,
+     * non-blocking probe (one map lookup, at most one stat(2)) —
+     * never records, hashes, or simulates — used by the experiment
+     * service to route requests onto the warm lane. A false negative
+     * (e.g. store entry present but the recording not yet memoized)
+     * is safe: the request just takes the cold lane and still hits
+     * the store.
+     */
+    bool gpuStatsWarm(const std::string &name, core::Scale scale,
+                      int version, const gpusim::SimConfig &config);
+
+    /**
      * Fan a sweep's iterations across the executor (serial when the
      * context has none). Iterations must write disjoint result
      * slots; assembly order is the caller's.
@@ -158,6 +174,9 @@ class Context
     std::vector<SweepTelemetry> sweepTelemetry;
     std::vector<GpuSimTelemetry> gpuSimTelemetry;
     std::atomic<uint64_t> nGpuStoreHits{0};
+    /** Keys whose call_once completed ("stats:..."/"rhash:...") —
+     *  the queryable side of the once_flag, for gpuStatsWarm. */
+    std::set<std::string> doneKeys;
 };
 
 } // namespace driver

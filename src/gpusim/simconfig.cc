@@ -17,65 +17,83 @@ isPow2(uint64_t v)
 
 } // namespace
 
+std::string
+SimConfig::check() const
+{
+    auto msg = [](auto &&...parts) {
+        return detail::concatMessage(
+            std::forward<decltype(parts)>(parts)...);
+    };
+    if (numSms <= 0)
+        return msg("SimConfig: numSms (", numSms,
+                   ") must be positive");
+    if (warpSize <= 0 || warpSize > 32)
+        return msg("SimConfig: warpSize (", warpSize,
+                   ") must be in [1, 32] (the replayer models 32 "
+                   "lanes)");
+    if (simdWidth <= 0)
+        return msg("SimConfig: simdWidth (", simdWidth,
+                   ") must be positive");
+    if (warpSize % simdWidth != 0)
+        return msg("SimConfig: warpSize (", warpSize,
+                   ") must be a multiple of simdWidth (", simdWidth,
+                   ") for a whole number of issue cycles");
+    if (maxThreadsPerSm <= 0 || maxCtasPerSm <= 0)
+        return msg("SimConfig: maxThreadsPerSm (", maxThreadsPerSm,
+                   ") and maxCtasPerSm (", maxCtasPerSm,
+                   ") must be positive");
+    if (regFileSize <= 0 || regsPerThread <= 0)
+        return msg("SimConfig: regFileSize (", regFileSize,
+                   ") and regsPerThread (", regsPerThread,
+                   ") must be positive");
+    if (sharedBanks <= 0)
+        return msg("SimConfig: sharedBanks (", sharedBanks,
+                   ") must be positive (bank index is addr mod "
+                   "banks)");
+    if (coreClockGhz <= 0.0 || memClockGhz <= 0.0)
+        return msg("SimConfig: clocks (core ", coreClockGhz,
+                   " GHz, mem ", memClockGhz, " GHz) must be "
+                   "positive");
+    if (addressAluPerMem < 0)
+        return msg("SimConfig: addressAluPerMem (", addressAluPerMem,
+                   ") must be non-negative");
+    if (numChannels <= 0)
+        return msg("SimConfig: numChannels (", numChannels,
+                   ") must be positive (channel index is addr mod "
+                   "channels)");
+    if (dramBusBytes <= 0)
+        return msg("SimConfig: dramBusBytes (", dramBusBytes,
+                   ") must be positive");
+    if (!isPow2(uint64_t(coalesceBytes)))
+        return msg("SimConfig: coalesceBytes (", coalesceBytes,
+                   ") must be a power of two (transaction "
+                   "segmentation)");
+    if (gmemLatencyCycles < 0 || launchOverheadCycles < 0)
+        return msg("SimConfig: latencies must be non-negative");
+    if (texCacheBytes == 0 || constCacheBytes == 0)
+        return msg("SimConfig: texture and constant caches must "
+                   "have non-zero capacity (every SM instantiates "
+                   "them)");
+    if (l1Enabled && !isPow2(uint64_t(l1LineBytes)))
+        return msg("SimConfig: l1LineBytes (", l1LineBytes,
+                   ") must be a power of two");
+    if (l2Enabled && !isPow2(uint64_t(l2LineBytes)))
+        return msg("SimConfig: l2LineBytes (", l2LineBytes,
+                   ") must be a power of two");
+    if (l1Enabled && l1Bytes + sharedMemPerSm != 64 * 1024)
+        return msg("SimConfig: inconsistent Fermi split — l1Bytes (",
+                   l1Bytes, ") + sharedMemPerSm (", sharedMemPerSm,
+                   ") must equal the 64 kB configurable SM memory");
+    if (l2Enabled && l2Bytes == 0)
+        return msg("SimConfig: l2Enabled with zero l2Bytes");
+    return "";
+}
+
 void
 SimConfig::validate() const
 {
-    if (numSms <= 0)
-        fatal("SimConfig: numSms (", numSms, ") must be positive");
-    if (warpSize <= 0 || warpSize > 32)
-        fatal("SimConfig: warpSize (", warpSize,
-              ") must be in [1, 32] (the replayer models 32 lanes)");
-    if (simdWidth <= 0)
-        fatal("SimConfig: simdWidth (", simdWidth,
-              ") must be positive");
-    if (warpSize % simdWidth != 0)
-        fatal("SimConfig: warpSize (", warpSize,
-              ") must be a multiple of simdWidth (", simdWidth,
-              ") for a whole number of issue cycles");
-    if (maxThreadsPerSm <= 0 || maxCtasPerSm <= 0)
-        fatal("SimConfig: maxThreadsPerSm (", maxThreadsPerSm,
-              ") and maxCtasPerSm (", maxCtasPerSm,
-              ") must be positive");
-    if (regFileSize <= 0 || regsPerThread <= 0)
-        fatal("SimConfig: regFileSize (", regFileSize,
-              ") and regsPerThread (", regsPerThread,
-              ") must be positive");
-    if (sharedBanks <= 0)
-        fatal("SimConfig: sharedBanks (", sharedBanks,
-              ") must be positive (bank index is addr mod banks)");
-    if (coreClockGhz <= 0.0 || memClockGhz <= 0.0)
-        fatal("SimConfig: clocks (core ", coreClockGhz, " GHz, mem ",
-              memClockGhz, " GHz) must be positive");
-    if (addressAluPerMem < 0)
-        fatal("SimConfig: addressAluPerMem (", addressAluPerMem,
-              ") must be non-negative");
-    if (numChannels <= 0)
-        fatal("SimConfig: numChannels (", numChannels,
-              ") must be positive (channel index is addr mod "
-              "channels)");
-    if (dramBusBytes <= 0)
-        fatal("SimConfig: dramBusBytes (", dramBusBytes,
-              ") must be positive");
-    if (!isPow2(uint64_t(coalesceBytes)))
-        fatal("SimConfig: coalesceBytes (", coalesceBytes,
-              ") must be a power of two (transaction segmentation)");
-    if (gmemLatencyCycles < 0 || launchOverheadCycles < 0)
-        fatal("SimConfig: latencies must be non-negative");
-    if (texCacheBytes == 0 || constCacheBytes == 0)
-        fatal("SimConfig: texture and constant caches must have "
-              "non-zero capacity (every SM instantiates them)");
-    if (l1Enabled && !isPow2(uint64_t(l1LineBytes)))
-        fatal("SimConfig: l1LineBytes (", l1LineBytes,
-              ") must be a power of two");
-    if (l2Enabled && !isPow2(uint64_t(l2LineBytes)))
-        fatal("SimConfig: l2LineBytes (", l2LineBytes,
-              ") must be a power of two");
-    if (l1Enabled && l1Bytes + sharedMemPerSm != 64 * 1024)
-        fatal("SimConfig: inconsistent Fermi split — l1Bytes (",
-              l1Bytes, ") + sharedMemPerSm (", sharedMemPerSm,
-              ") must equal the 64 kB configurable SM memory");
-    if (l2Enabled && l2Bytes == 0)
-        fatal("SimConfig: l2Enabled with zero l2Bytes");
+    if (std::string err = check(); !err.empty())
+        fatal(err);
 }
 
 std::string

@@ -85,6 +85,16 @@ struct SimConfig
     void validate() const;
 
     /**
+     * The same geometry rules as validate(), reported instead of
+     * enforced: returns "" for a sound configuration, or the first
+     * violation's message. This is the boundary check for untrusted
+     * configs (the experiment service rejects the request instead of
+     * aborting the daemon); validate() remains the in-process
+     * contract for code paths that constructed the config themselves.
+     */
+    std::string check() const;
+
+    /**
      * Canonical, stable serialization of every field. Two configs
      * produce equal fingerprints iff every architectural parameter
      * is equal, so the fingerprint keys memoized and store-cached

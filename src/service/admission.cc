@@ -1,0 +1,93 @@
+#include "service/admission.hh"
+
+#include "support/metrics.hh"
+
+namespace rodinia {
+namespace service {
+
+namespace metrics = support::metrics;
+
+const char *
+laneName(Lane lane)
+{
+    return lane == Lane::Warm ? "warm" : "cold";
+}
+
+AdmissionController::AdmissionController(const AdmissionPolicy &policy)
+    : policy_(policy)
+{
+}
+
+Verdict
+AdmissionController::admit(const std::string &client, Lane lane)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ClientStats &cs = clients_[client];
+    size_t cap = lane == Lane::Warm ? policy_.maxWarmQueue
+                                    : policy_.maxColdQueue;
+    size_t &depth = queued_[lane == Lane::Warm ? 0 : 1];
+    // Quota first: a client over its own limit is rejected even on
+    // an idle server, so the verdict a client sees is independent of
+    // what everyone else is doing.
+    if (cs.inFlight >= policy_.perClientInFlight) {
+        cs.rejectedQuota += 1;
+        metrics::countLabeled("service.rejected",
+                              client + "/quota", 1);
+        return Verdict::RejectQuota;
+    }
+    if (depth >= cap) {
+        cs.rejectedOverload += 1;
+        metrics::countLabeled("service.rejected",
+                              client + "/overload", 1);
+        return Verdict::RejectOverload;
+    }
+    depth += 1;
+    cs.admitted += 1;
+    cs.inFlight += 1;
+    metrics::countLabeled("service.admitted",
+                          client + "/" + laneName(lane), 1);
+    return Verdict::Admit;
+}
+
+void
+AdmissionController::started(Lane lane)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t &depth = queued_[lane == Lane::Warm ? 0 : 1];
+    if (depth > 0)
+        depth -= 1;
+}
+
+void
+AdmissionController::finish(const std::string &client, Lane lane,
+                            bool served)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ClientStats &cs = clients_[client];
+    if (cs.inFlight > 0)
+        cs.inFlight -= 1;
+    if (served)
+        cs.served += 1;
+    else
+        cs.failed += 1;
+    metrics::countLabeled(served ? "service.served"
+                                 : "service.failed",
+                          client + "/" + laneName(lane), 1);
+}
+
+size_t
+AdmissionController::queueDepth(Lane lane) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queued_[lane == Lane::Warm ? 0 : 1];
+}
+
+std::map<std::string, AdmissionController::ClientStats>
+AdmissionController::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return clients_;
+}
+
+} // namespace service
+} // namespace rodinia

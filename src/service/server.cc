@@ -1,0 +1,812 @@
+#include "service/server.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "driver/context.hh"
+#include "driver/executor.hh"
+#include "driver/failure.hh"
+#include "driver/figures.hh"
+#include "driver/result_store.hh"
+#include "driver/tracing.hh"
+#include "service/protocol.hh"
+#include "support/cancel.hh"
+#include "support/logging.hh"
+#include "support/metrics.hh"
+
+namespace rodinia {
+namespace service {
+
+namespace metrics = support::metrics;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+uint64_t
+elapsedUs(Clock::time_point from, Clock::time_point to)
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                        to - from)
+                        .count());
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Impl
+// ---------------------------------------------------------------
+
+struct ExperimentService::Impl
+{
+    explicit Impl(const ServiceConfig &cfg)
+        : config(cfg), store(cfg.cacheDir, cfg.cacheEnabled),
+          executor(cfg.executorThreads), ctx(&store, &executor),
+          admission(cfg.admission)
+    {
+        core::registerAllWorkloads();
+    }
+
+    // ---- connection state -------------------------------------
+
+    struct Conn
+    {
+        int fd = -1;
+        std::string client; //!< "c<N>"
+        std::mutex writeMu;
+        std::atomic<bool> open{true};
+        std::atomic<bool> readerDone{false};
+        std::thread reader;
+
+        /** Serialize one response line onto the socket. Returns
+         *  false (and latches the connection closed) on any write
+         *  error — a vanished client stops costing us syscalls. */
+        bool
+        write(const std::string &line)
+        {
+            std::lock_guard<std::mutex> lock(writeMu);
+            if (!open.load(std::memory_order_acquire))
+                return false;
+            const char *p = line.data();
+            size_t left = line.size();
+            while (left > 0) {
+                ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+                if (n < 0) {
+                    if (errno == EINTR)
+                        continue;
+                    open.store(false, std::memory_order_release);
+                    return false;
+                }
+                p += n;
+                left -= size_t(n);
+            }
+            return true;
+        }
+    };
+
+    // ---- one admitted unit of work ----------------------------
+
+    struct Task
+    {
+        std::shared_ptr<Conn> conn;
+        std::string id;
+        Op op = Op::Figure;
+        const driver::FigureDef *figure = nullptr;
+        std::string workload;
+        core::Scale scale = core::Scale::Full;
+        int version = 0;
+        gpusim::SimConfig simConfig;
+        Lane lane = Lane::Cold;
+        std::shared_ptr<support::CancelToken> token;
+        Clock::time_point accepted;
+    };
+
+    /** Cancelation handle for every admitted-but-unfinished
+     *  request, addressed by (connection, request id). */
+    struct InFlight
+    {
+        std::shared_ptr<support::CancelToken> token;
+        Clock::time_point deadline{};
+        bool hasDeadline = false;
+    };
+
+    ServiceConfig config;
+    driver::ResultStore store;
+    driver::Executor executor;
+    driver::Context ctx;
+    AdmissionController admission;
+
+    std::atomic<bool> running{false};
+    std::atomic<uint64_t> connCounter{0};
+    int listenFd = -1;
+    std::thread acceptThread;
+    std::thread watchdogThread;
+    std::vector<std::thread> workers;
+
+    std::mutex connsMu;
+    std::vector<std::shared_ptr<Conn>> conns;
+
+    std::mutex queueMu;
+    std::condition_variable queueCv;
+    std::deque<Task> queues[2]; //!< [0]=warm, [1]=cold
+
+    std::mutex inflightMu;
+    std::map<std::pair<std::string, std::string>, InFlight> inflight;
+
+    /** Figure id -> rendered text. Figure output is deterministic,
+     *  so a benign double-build race publishes identical bytes. */
+    std::mutex figureCacheMu;
+    std::map<std::string, std::string> figureCache;
+
+    // ---- lifecycle --------------------------------------------
+
+    bool bind();
+    void acceptLoop();
+    void readerLoop(const std::shared_ptr<Conn> &conn);
+    void workerLoop(Lane lane);
+    void watchdogLoop();
+
+    // ---- request handling -------------------------------------
+
+    void handleLine(const std::shared_ptr<Conn> &conn,
+                    const std::string &line);
+    void handleStats(const std::shared_ptr<Conn> &conn,
+                     const Request &req);
+    void handleCancel(const std::shared_ptr<Conn> &conn,
+                      const Request &req);
+    void handleWork(const std::shared_ptr<Conn> &conn,
+                    const Request &req);
+    void execute(Task &task);
+    void streamPayload(Task &task, const std::string &payload);
+    void finishError(Task &task, const std::string &cls,
+                     const std::string &message);
+
+    bool figureWarm(const std::string &id);
+    std::string figureText(const driver::FigureDef &def);
+
+    void eraseInflight(const Conn &conn, const std::string &id);
+    void cancelConnection(const Conn &conn, const std::string &why);
+};
+
+// ---------------------------------------------------------------
+// Socket plumbing
+// ---------------------------------------------------------------
+
+bool
+ExperimentService::Impl::bind()
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config.socketPath.empty() ||
+        config.socketPath.size() >= sizeof(addr.sun_path)) {
+        warn("service: socket path '", config.socketPath,
+             "' is empty or longer than ", sizeof(addr.sun_path) - 1,
+             " bytes");
+        return false;
+    }
+    std::memcpy(addr.sun_path, config.socketPath.c_str(),
+                config.socketPath.size() + 1);
+
+    listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0) {
+        warn("service: socket(): ", std::strerror(errno));
+        return false;
+    }
+    // A stale socket file from a dead daemon would make bind fail
+    // forever; unlinking is safe because a *live* daemon would still
+    // own the listening inode.
+    ::unlink(config.socketPath.c_str());
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd, 64) != 0) {
+        warn("service: cannot listen on '", config.socketPath,
+             "': ", std::strerror(errno));
+        ::close(listenFd);
+        listenFd = -1;
+        return false;
+    }
+    return true;
+}
+
+void
+ExperimentService::Impl::acceptLoop()
+{
+    while (running.load(std::memory_order_acquire)) {
+        pollfd pfd{listenFd, POLLIN, 0};
+        int pr = ::poll(&pfd, 1, 100);
+        if (pr <= 0)
+            continue;
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        auto conn = std::make_shared<Conn>();
+        conn->fd = fd;
+        conn->client =
+            "c" + std::to_string(connCounter.fetch_add(1) + 1);
+        metrics::count("service.connections");
+        if (config.verbose)
+            warn("service: accepted ", conn->client);
+        conn->reader =
+            std::thread([this, conn] { readerLoop(conn); });
+        std::lock_guard<std::mutex> lock(connsMu);
+        // Reap connections whose readers already finished so a
+        // long-lived daemon doesn't accumulate one zombie thread
+        // object per historical client.
+        for (auto it = conns.begin(); it != conns.end();) {
+            if ((*it)->readerDone.load(std::memory_order_acquire)) {
+                (*it)->reader.join();
+                it = conns.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        conns.push_back(std::move(conn));
+    }
+}
+
+void
+ExperimentService::Impl::readerLoop(const std::shared_ptr<Conn> &conn)
+{
+    std::string buf;
+    bool discarding = false;
+    char chunk[4096];
+    for (;;) {
+        ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        size_t start = 0;
+        for (ssize_t i = 0; i < n; ++i) {
+            if (chunk[i] != '\n')
+                continue;
+            if (discarding) {
+                // Tail of an oversized line: drop it and resume
+                // normal framing at the next byte.
+                discarding = false;
+            } else {
+                buf.append(chunk + start, size_t(i) - start);
+                handleLine(conn, buf);
+            }
+            buf.clear();
+            start = size_t(i) + 1;
+        }
+        if (!discarding) {
+            buf.append(chunk + start, size_t(n) - start);
+            if (buf.size() > kMaxRequestBytes) {
+                metrics::count("service.oversized_lines");
+                conn->write(renderRejected(
+                    "", RejectReason::BadRequest,
+                    "request line exceeds " +
+                        std::to_string(kMaxRequestBytes) +
+                        " bytes"));
+                buf.clear();
+                discarding = true;
+            }
+        }
+    }
+    // A request line truncated by the disconnect is dropped, not
+    // parsed — half a request must not execute.
+    conn->open.store(false, std::memory_order_release);
+    cancelConnection(*conn, "client disconnected");
+    if (config.verbose)
+        warn("service: ", conn->client, " disconnected");
+    conn->readerDone.store(true, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------
+// Request handling (reader thread)
+// ---------------------------------------------------------------
+
+void
+ExperimentService::Impl::handleLine(const std::shared_ptr<Conn> &conn,
+                                    const std::string &line)
+{
+    if (line.empty() ||
+        line.find_first_not_of(" \t\r") == std::string::npos)
+        return; // blank keep-alive line
+    Request req;
+    std::string error;
+    if (!parseRequest(line, req, error)) {
+        metrics::count("service.bad_requests");
+        conn->write(
+            renderRejected(req.id, RejectReason::BadRequest, error));
+        return;
+    }
+    switch (req.op) {
+    case Op::Ping:
+        conn->write(renderPong());
+        return;
+    case Op::Stats:
+        handleStats(conn, req);
+        return;
+    case Op::Cancel:
+        handleCancel(conn, req);
+        return;
+    case Op::Figure:
+    case Op::Sim:
+        handleWork(conn, req);
+        return;
+    }
+}
+
+void
+ExperimentService::Impl::handleStats(const std::shared_ptr<Conn> &conn,
+                                     const Request &req)
+{
+    // One JSON object: the controller's per-client accounting, live
+    // queue depths, and the full metrics registry (PR 5) embedded as
+    // its own sub-object. Rendered inline on the reader thread so
+    // stats stay available while every worker is busy.
+    std::ostringstream os;
+    os << "{\"clients\":{";
+    bool firstClient = true;
+    for (const auto &[client, cs] : admission.snapshot()) {
+        if (!firstClient)
+            os << ",";
+        firstClient = false;
+        os << "\"" << metrics::jsonEscape(client) << "\":{"
+           << "\"admitted\":" << cs.admitted
+           << ",\"rejected_overload\":" << cs.rejectedOverload
+           << ",\"rejected_quota\":" << cs.rejectedQuota
+           << ",\"served\":" << cs.served
+           << ",\"failed\":" << cs.failed
+           << ",\"in_flight\":" << cs.inFlight << "}";
+    }
+    os << "},\"queue\":{\"warm\":" << admission.queueDepth(Lane::Warm)
+       << ",\"cold\":" << admission.queueDepth(Lane::Cold) << "}";
+    {
+        std::lock_guard<std::mutex> lock(figureCacheMu);
+        os << ",\"figure_cache\":" << figureCache.size();
+    }
+    os << ",\"metrics\":"
+       << metrics::Registry::global().snapshot().renderJson() << "}";
+    conn->write(renderStats(req.id, os.str()));
+}
+
+void
+ExperimentService::Impl::handleCancel(
+    const std::shared_ptr<Conn> &conn, const Request &req)
+{
+    bool found = false;
+    {
+        std::lock_guard<std::mutex> lock(inflightMu);
+        auto it = inflight.find({conn->client, req.target});
+        if (it != inflight.end()) {
+            found = true;
+            it->second.token->cancel("cancel: request '" +
+                                     req.target +
+                                     "' cancelled by client");
+        }
+    }
+    if (found) {
+        metrics::count("service.cancels");
+        conn->write(renderDone(req.id, "cancel", 0, 0, 0));
+    } else {
+        conn->write(renderRejected(
+            req.id, RejectReason::BadRequest,
+            "no in-flight request '" + req.target + "'"));
+    }
+}
+
+bool
+ExperimentService::Impl::figureWarm(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(figureCacheMu);
+    return figureCache.count(id) != 0;
+}
+
+void
+ExperimentService::Impl::handleWork(const std::shared_ptr<Conn> &conn,
+                                    const Request &req)
+{
+    Task task;
+    task.conn = conn;
+    task.id = req.id;
+    task.op = req.op;
+
+    if (req.op == Op::Figure) {
+        task.figure = driver::findFigure(req.figure);
+        if (!task.figure) {
+            conn->write(renderRejected(
+                req.id, RejectReason::BadRequest,
+                "unknown figure '" + req.figure + "'"));
+            return;
+        }
+        task.lane = figureWarm(req.figure) ? Lane::Warm : Lane::Cold;
+    } else {
+        auto &reg = core::Registry::instance();
+        if (!reg.has(req.workload)) {
+            conn->write(renderRejected(
+                req.id, RejectReason::BadRequest,
+                "unknown workload '" + req.workload + "'"));
+            return;
+        }
+        int versions = reg.create(req.workload)->gpuVersions();
+        if (versions < 1) {
+            conn->write(renderRejected(
+                req.id, RejectReason::BadRequest,
+                "workload '" + req.workload +
+                    "' has no GPU implementation"));
+            return;
+        }
+        if (req.version > versions) {
+            conn->write(renderRejected(
+                req.id, RejectReason::BadRequest,
+                "workload '" + req.workload + "' has " +
+                    std::to_string(versions) + " version(s)"));
+            return;
+        }
+        task.workload = req.workload;
+        task.scale = req.scale;
+        task.version = req.version;
+        task.simConfig = req.config;
+        task.lane = ctx.gpuStatsWarm(req.workload, req.scale,
+                                     req.version, req.config)
+                        ? Lane::Warm
+                        : Lane::Cold;
+    }
+
+    // One live request per (client, id): a reused id would make
+    // cancel and response routing ambiguous.
+    {
+        std::lock_guard<std::mutex> lock(inflightMu);
+        if (inflight.count({conn->client, req.id})) {
+            conn->write(renderRejected(
+                req.id, RejectReason::BadRequest,
+                "request id '" + req.id + "' already in flight"));
+            return;
+        }
+    }
+
+    switch (admission.admit(conn->client, task.lane)) {
+    case Verdict::RejectOverload:
+        conn->write(renderRejected(req.id, RejectReason::Overload,
+                                   std::string(laneName(task.lane)) +
+                                       " queue is full"));
+        return;
+    case Verdict::RejectQuota:
+        conn->write(renderRejected(
+            req.id, RejectReason::Quota,
+            "client has " +
+                std::to_string(admission.policy().perClientInFlight) +
+                " requests in flight"));
+        return;
+    case Verdict::Admit:
+        break;
+    }
+
+    task.token = std::make_shared<support::CancelToken>();
+    task.accepted = Clock::now();
+    double deadlineMs = req.deadlineMs > 0.0
+                            ? req.deadlineMs
+                            : config.defaultDeadlineMs;
+    {
+        std::lock_guard<std::mutex> lock(inflightMu);
+        InFlight inf;
+        inf.token = task.token;
+        if (deadlineMs > 0.0) {
+            inf.hasDeadline = true;
+            inf.deadline =
+                task.accepted +
+                std::chrono::microseconds(int64_t(deadlineMs * 1e3));
+        }
+        inflight.emplace(std::make_pair(conn->client, req.id),
+                         std::move(inf));
+    }
+    conn->write(renderAccepted(req.id, laneName(task.lane)));
+    {
+        std::lock_guard<std::mutex> lock(queueMu);
+        queues[task.lane == Lane::Warm ? 0 : 1].push_back(
+            std::move(task));
+    }
+    queueCv.notify_all();
+}
+
+// ---------------------------------------------------------------
+// Lane workers
+// ---------------------------------------------------------------
+
+void
+ExperimentService::Impl::workerLoop(Lane lane)
+{
+    size_t qi = lane == Lane::Warm ? 0 : 1;
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(queueMu);
+            queueCv.wait(lock, [&] {
+                return !queues[qi].empty() ||
+                       !running.load(std::memory_order_acquire);
+            });
+            if (queues[qi].empty()) {
+                if (!running.load(std::memory_order_acquire))
+                    return;
+                continue;
+            }
+            task = std::move(queues[qi].front());
+            queues[qi].pop_front();
+        }
+        admission.started(lane);
+        execute(task);
+    }
+}
+
+std::string
+ExperimentService::Impl::figureText(const driver::FigureDef &def)
+{
+    {
+        std::lock_guard<std::mutex> lock(figureCacheMu);
+        auto it = figureCache.find(def.id);
+        if (it != figureCache.end()) {
+            metrics::count("service.figure_cache_hits");
+            return it->second;
+        }
+    }
+    std::string text = driver::buildFigure(def, ctx);
+    std::lock_guard<std::mutex> lock(figureCacheMu);
+    figureCache.emplace(def.id, text);
+    return text;
+}
+
+void
+ExperimentService::Impl::streamPayload(Task &task,
+                                       const std::string &payload)
+{
+    uint64_t seq = 0;
+    for (size_t off = 0; off < payload.size(); off += kChunkBytes) {
+        if (!task.conn->write(renderChunk(
+                task.id, seq,
+                std::string_view(payload).substr(off, kChunkBytes))))
+            return; // client gone; finish() still runs in execute()
+        ++seq;
+    }
+    uint64_t wallUs = elapsedUs(task.accepted, Clock::now());
+    task.conn->write(renderDone(task.id, laneName(task.lane), seq,
+                                payload.size(), wallUs));
+    metrics::observeLabeled("service.latency_us",
+                            task.conn->client + "/" +
+                                laneName(task.lane),
+                            wallUs);
+}
+
+void
+ExperimentService::Impl::finishError(Task &task,
+                                     const std::string &cls,
+                                     const std::string &message)
+{
+    task.conn->write(renderErrorResponse(task.id, cls, message));
+    metrics::countLabeled("service.errors",
+                          task.conn->client + "/" + cls, 1);
+}
+
+void
+ExperimentService::Impl::execute(Task &task)
+{
+    auto t0 = Clock::now();
+    metrics::observeLabeled("service.queue_wait_us",
+                            laneName(task.lane),
+                            elapsedUs(task.accepted, t0));
+    bool served = false;
+    std::string spanWhat =
+        task.op == Op::Figure ? task.figure->id : task.workload;
+    auto cancelClass = [](const std::string &r) {
+        return r.rfind("deadline:", 0) == 0    ? "deadline"
+               : r.rfind("shutdown:", 0) == 0 ? "shutdown"
+                                              : "cancelled";
+    };
+    std::string payload, errCls, errMsg;
+    // Cancelled while queued (deadline, client cancel, teardown):
+    // answer without touching the Context at all.
+    if (task.token->cancelled()) {
+        errCls = cancelClass(task.token->reason());
+        errMsg = task.token->reason();
+    } else {
+        support::CancelScope scope(task.token.get());
+        try {
+            if (task.op == Op::Figure) {
+                payload = figureText(*task.figure);
+            } else {
+                payload = gpusim::serializeKernelStats(
+                    ctx.gpuStats(task.workload, task.scale,
+                                 task.version, task.simConfig));
+            }
+            served = true;
+        } catch (const support::CancelledError &e) {
+            errCls = cancelClass(e.what());
+            errMsg = e.what();
+        } catch (...) {
+            auto c = driver::classifyCurrentException();
+            errCls = driver::errorClassName(c.cls);
+            errMsg = c.message;
+        }
+    }
+    // Settle the accounting BEFORE the terminal response goes out: a
+    // client that has seen "done"/"error" may immediately ask /stats
+    // and must find this request counted as finished, not in flight.
+    eraseInflight(*task.conn, task.id);
+    admission.finish(task.conn->client, task.lane, served);
+    if (served)
+        streamPayload(task, payload);
+    else
+        finishError(task, errCls, errMsg);
+    if (auto *tc = driver::TraceCollector::active())
+        tc->record("service",
+                   task.op == Op::Figure ? "figure" : "sim",
+                   driver::TraceArgs()
+                       .str("client", task.conn->client)
+                       .str("what", spanWhat)
+                       .str("lane", laneName(task.lane))
+                       .str("outcome", served ? "served" : "failed")
+                       .json(),
+                   t0, Clock::now());
+    if (config.verbose)
+        warn("service: ", task.conn->client, "/", task.id, " ",
+             spanWhat, " [", laneName(task.lane), "] ",
+             served ? "served" : "failed");
+}
+
+// ---------------------------------------------------------------
+// Cancellation bookkeeping
+// ---------------------------------------------------------------
+
+void
+ExperimentService::Impl::eraseInflight(const Conn &conn,
+                                       const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(inflightMu);
+    inflight.erase({conn.client, id});
+}
+
+void
+ExperimentService::Impl::cancelConnection(const Conn &conn,
+                                          const std::string &why)
+{
+    std::lock_guard<std::mutex> lock(inflightMu);
+    for (auto &[key, inf] : inflight)
+        if (key.first == conn.client)
+            inf.token->cancel("cancelled: " + why);
+}
+
+void
+ExperimentService::Impl::watchdogLoop()
+{
+    while (running.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        auto now = Clock::now();
+        std::lock_guard<std::mutex> lock(inflightMu);
+        for (auto &[key, inf] : inflight) {
+            if (!inf.hasDeadline || inf.token->cancelled() ||
+                now <= inf.deadline)
+                continue;
+            // Like the executor watchdog, the reason quotes the
+            // request key, not the measured elapsed time, so error
+            // messages stay deterministic.
+            inf.token->cancel("deadline: request '" + key.second +
+                              "' exceeded its deadline");
+            metrics::count("service.deadline_cancels");
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Public surface
+// ---------------------------------------------------------------
+
+ExperimentService::ExperimentService(const ServiceConfig &config)
+    : impl(std::make_unique<Impl>(config))
+{
+}
+
+ExperimentService::~ExperimentService()
+{
+    stop();
+}
+
+bool
+ExperimentService::start()
+{
+    if (impl->running.load())
+        return true;
+    if (!impl->bind())
+        return false;
+    impl->running.store(true, std::memory_order_release);
+    impl->acceptThread =
+        std::thread([this] { impl->acceptLoop(); });
+    impl->watchdogThread =
+        std::thread([this] { impl->watchdogLoop(); });
+    int warm = std::max(1, impl->config.warmWorkers);
+    int cold = std::max(1, impl->config.coldWorkers);
+    for (int i = 0; i < warm; ++i)
+        impl->workers.emplace_back(
+            [this] { impl->workerLoop(Lane::Warm); });
+    for (int i = 0; i < cold; ++i)
+        impl->workers.emplace_back(
+            [this] { impl->workerLoop(Lane::Cold); });
+    return true;
+}
+
+void
+ExperimentService::stop()
+{
+    if (!impl->running.exchange(false))
+        return;
+    // Order matters: stop intake first (accept loop sees running ==
+    // false), then cancel outstanding work so queued tasks drain as
+    // immediate "shutdown" errors, then wake and join the workers,
+    // then unblock every connection reader.
+    if (impl->acceptThread.joinable())
+        impl->acceptThread.join();
+    if (impl->listenFd >= 0) {
+        ::close(impl->listenFd);
+        impl->listenFd = -1;
+        ::unlink(impl->config.socketPath.c_str());
+    }
+    {
+        std::lock_guard<std::mutex> lock(impl->inflightMu);
+        for (auto &[key, inf] : impl->inflight)
+            inf.token->cancel("shutdown: service stopping");
+    }
+    impl->queueCv.notify_all();
+    for (auto &w : impl->workers)
+        w.join();
+    impl->workers.clear();
+    if (impl->watchdogThread.joinable())
+        impl->watchdogThread.join();
+    std::vector<std::shared_ptr<Impl::Conn>> conns;
+    {
+        std::lock_guard<std::mutex> lock(impl->connsMu);
+        conns.swap(impl->conns);
+    }
+    for (auto &c : conns) {
+        ::shutdown(c->fd, SHUT_RDWR);
+        if (c->reader.joinable())
+            c->reader.join();
+        ::close(c->fd);
+    }
+}
+
+bool
+ExperimentService::running() const
+{
+    return impl->running.load(std::memory_order_acquire);
+}
+
+const ServiceConfig &
+ExperimentService::config() const
+{
+    return impl->config;
+}
+
+uint64_t
+ExperimentService::connectionsAccepted() const
+{
+    return impl->connCounter.load();
+}
+
+driver::Context &
+ExperimentService::context()
+{
+    return impl->ctx;
+}
+
+AdmissionController &
+ExperimentService::admission()
+{
+    return impl->admission;
+}
+
+} // namespace service
+} // namespace rodinia

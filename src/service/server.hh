@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The long-lived experiment service.
+ *
+ * ExperimentService turns the batch experiment driver into a daemon:
+ * it listens on a Unix-domain stream socket and serves figure,
+ * simulation, and stats requests from many concurrent clients over
+ * the line-delimited JSON protocol (service/protocol.hh), all
+ * sharing ONE warm driver::Context, ONE ResultStore, and ONE
+ * work-stealing Executor — so the memoized characterizations,
+ * recordings, and timing simulations that a batch run pays for once
+ * are paid for once per daemon lifetime, not once per client.
+ *
+ * Request path:
+ *
+ *   reader thread (per connection)
+ *     -> parse + structural validation (bad input = per-request
+ *        rejection, never a daemon abort; SimConfigs are clamped and
+ *        checked at this boundary)
+ *     -> lane classification: warm iff the result is already served
+ *        from cache (figure text cache, gpuStats memo, or published
+ *        store entry)
+ *     -> admission control (per-client quota, per-lane queue cap;
+ *        see service/admission.hh) -> "accepted" or "rejected"
+ *     -> lane queue
+ *   lane workers (dedicated warm + cold pools)
+ *     -> execute under a per-request CancelToken (deadline watchdog
+ *        + client cancel + connection teardown all cancel the same
+ *        token, reusing the cooperative checkpoints threaded through
+ *        the sim/sweep loops in PR 4)
+ *     -> stream the payload back as "chunk" responses + "done"
+ *
+ * Isolation property (pinned by tests): warm requests are never
+ * behind a cold simulation — they have their own queue, their own
+ * workers, and a cold flood can reject other *cold* work at the
+ * queue cap but cannot add latency to a warm hit beyond the warm
+ * workers' own service time.
+ *
+ * stats/ping/cancel are served inline on the reader thread (they
+ * are O(registry size) at most), so they stay responsive even when
+ * every worker is busy.
+ */
+
+#ifndef RODINIA_SERVICE_SERVER_HH
+#define RODINIA_SERVICE_SERVER_HH
+
+#include <memory>
+#include <string>
+
+#include "service/admission.hh"
+
+namespace rodinia {
+namespace driver {
+class Context;
+}
+
+namespace service {
+
+struct ServiceConfig
+{
+    std::string socketPath;        //!< required
+    std::string cacheDir = "bench_cache";
+    bool cacheEnabled = true;
+    int executorThreads = 0;       //!< 0 = hardware concurrency
+    int coldWorkers = 2;           //!< cold-lane request workers
+    int warmWorkers = 1;           //!< warm-lane request workers
+    AdmissionPolicy admission;
+    double defaultDeadlineMs = 0.0; //!< applied when a request sends
+                                    //!< none; 0 = no deadline
+    bool verbose = false;          //!< per-request stderr log lines
+};
+
+class ExperimentService
+{
+  public:
+    explicit ExperimentService(const ServiceConfig &config);
+    ~ExperimentService(); //!< stops if still running
+
+    ExperimentService(const ExperimentService &) = delete;
+    ExperimentService &operator=(const ExperimentService &) = delete;
+
+    /**
+     * Bind the socket (unlinking a stale file from a previous run),
+     * start the accept loop, lane workers, and deadline watchdog.
+     * @return false with a warn() if the socket cannot be bound.
+     */
+    bool start();
+
+    /**
+     * Stop accepting, cancel every queued and in-flight request
+     * ("service shutting down"), close connections, join all
+     * threads. Idempotent.
+     */
+    void stop();
+
+    bool running() const;
+    const ServiceConfig &config() const;
+
+    /** Accepted connections so far (client ids are "c<N>"). */
+    uint64_t connectionsAccepted() const;
+
+    driver::Context &context();
+    AdmissionController &admission();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+} // namespace service
+} // namespace rodinia
+
+#endif // RODINIA_SERVICE_SERVER_HH

@@ -450,3 +450,31 @@ TEST(KeepGoing, StatsDropFailedJobsCountersWholesale)
     EXPECT_EQ(ok.out.find("MISSING("), std::string::npos) << ok.out;
     EXPECT_EQ(ok.out.find("0 sims run"), std::string::npos) << ok.out;
 }
+
+TEST(KeepGoing, StatsHintsWhenNothingWasRecorded)
+{
+    ScratchDir scratch("statshint");
+    std::string cache = (scratch.dir() / "cache").string();
+
+    // Stall every site (every stall-site name contains ':') past a
+    // short deadline: every job fails, every metric transaction is
+    // dropped, and --stats has nothing to show. It must say why
+    // instead of printing all-zero tables that read like a free run.
+    std::vector<std::string> args = {
+        "--no-cache", "--deadline", "300", "--keep-going",
+        "--stats",    "--quiet",    "--no-summary"};
+    RunResult r = runExperiments(args, "stall=:@60000", cache);
+    EXPECT_NE(r.exit, 0);
+    EXPECT_NE(r.out.find("hint: nothing was recorded this run"),
+              std::string::npos)
+        << r.out;
+
+    // A run that does record work must not print the hint.
+    RunResult ok = runExperiments(
+        {"--figure", "fig1", "--stats", "--quiet", "--no-summary"},
+        "", cache);
+    EXPECT_EQ(ok.exit, 0) << ok.out;
+    EXPECT_EQ(ok.out.find("hint: nothing was recorded"),
+              std::string::npos)
+        << ok.out;
+}

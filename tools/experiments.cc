@@ -499,6 +499,21 @@ main(int argc, char **argv)
                         "store.publish_failures"),
                     (unsigned long long)snap.value(
                         "store.tmp_collected"));
+        // All-zero tables are ambiguous: they read the same whether
+        // the run was free (everything store-served) or never got
+        // anywhere. When no work was recorded *and* the store served
+        // nothing, say so — the likely causes are an early exit or
+        // every job failing (a failed job's metric transaction is
+        // dropped whole, see --keep-going).
+        if (sweeps == 0 && simsRun == 0 &&
+            snap.value("store.hits") == 0 &&
+            snap.value("gpusim.store_served") == 0 &&
+            snap.value("figures.built") == 0)
+            std::printf(
+                "hint: nothing was recorded this run — it exited "
+                "before any job completed, or every job failed "
+                "(failed jobs drop their metric transactions "
+                "whole). See the failure report above.\n");
     }
 
     bool sidecarOk = true;
