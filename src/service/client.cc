@@ -178,8 +178,10 @@ ServiceClient::readEvent()
         return ev; // ConnectionLost
     Json root;
     std::string error;
-    if (!Json::parse(line, root, error) || !root.isObject())
+    if (!Json::parse(line, root, error) || !root.isObject()) {
+        ev.type = Event::Type::Malformed;
         return ev;
+    }
 
     auto str = [&](const char *key) -> std::string {
         const Json *v = root.get(key);
@@ -220,7 +222,7 @@ ServiceClient::readEvent()
     } else if (type == "pong") {
         ev.type = Event::Type::Pong;
     } else {
-        ev.type = Event::Type::ConnectionLost;
+        ev.type = Event::Type::Malformed;
     }
     return ev;
 }
@@ -260,6 +262,7 @@ ServiceClient::await(const std::string &id)
             out.payload = ev.data;
             return true;
         case Event::Type::Pong:
+        case Event::Type::Malformed:
         case Event::Type::ConnectionLost:
             return false;
         }
@@ -283,6 +286,10 @@ ServiceClient::await(const std::string &id)
             out.status = Outcome::Status::Lost;
             return out;
         }
+        // One unintelligible line is not a lost connection: skip it
+        // and keep waiting for this request's terminal response.
+        if (ev.type == Event::Type::Malformed)
+            continue;
         if (ev.id == id) {
             if (consume(ev))
                 return out;

@@ -41,7 +41,12 @@ struct Event
         Error,
         Stats,
         Pong,
-        /** Connection closed or unparseable response. */
+        /** Healthy connection, unintelligible line: unparseable
+         *  JSON or a "type" this client does not know (e.g. from a
+         *  newer daemon). await() skips these — one stray line must
+         *  not be misreported as a lost connection. */
+        Malformed,
+        /** The socket actually closed or the read failed. */
         ConnectionLost,
     };
 
@@ -114,7 +119,8 @@ class ServiceClient
     /**
      * Block for the next response line (any request) and decode it.
      * Returns an Event of type ConnectionLost when the daemon hangs
-     * up or the line cannot be parsed.
+     * up, and of type Malformed when a line arrives but cannot be
+     * decoded (bad JSON or an unknown "type").
      */
     Event readEvent();
 

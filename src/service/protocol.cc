@@ -514,15 +514,33 @@ parseRequest(const std::string &line, Request &out, std::string &error)
         return false;
     }
 
-    // Whole-request key whitelist: a typoed key must not silently
-    // become "use the default".
+    // Per-op key whitelist: a typoed key must not silently become
+    // "use the default", and a key that belongs to a *different* op
+    // ("scale" on a figure request, "target" on a sim) must not be
+    // silently dropped either.
+    auto keyAllowed = [&](const std::string &key) {
+        if (key == "op" || key == "id")
+            return true;
+        switch (out.op) {
+        case Op::Ping:
+        case Op::Stats:
+            return false;
+        case Op::Figure:
+            return key == "figure" || key == "deadline_ms";
+        case Op::Sim:
+            return key == "workload" || key == "scale" ||
+                   key == "version" || key == "config" ||
+                   key == "deadline_ms";
+        case Op::Cancel:
+            return key == "target";
+        }
+        return false;
+    };
     for (const auto &[key, v] : root.members()) {
         (void)v;
-        if (key != "op" && key != "id" && key != "figure" &&
-            key != "workload" && key != "scale" && key != "version" &&
-            key != "config" && key != "deadline_ms" &&
-            key != "target") {
-            error = "unknown request field '" + key + "'";
+        if (!keyAllowed(key)) {
+            error = "request field '" + key + "' is not valid for op '" +
+                    opName + "'";
             return false;
         }
     }

@@ -11,8 +11,10 @@
  * connection keep many requests in flight and match streamed
  * responses back to them.
  *
- * Request grammar (one object per line; unknown keys are rejected so
- * typos fail loudly instead of silently running defaults):
+ * Request grammar (one object per line; keys are whitelisted per op,
+ * so a typoed key — or a key misplaced from another op, like "scale"
+ * on a figure request — is rejected instead of silently running
+ * defaults):
  *
  *   {"op":"ping"}
  *   {"op":"figure","id":REQ,"figure":"fig1"[,"deadline_ms":N]}

@@ -70,6 +70,16 @@ struct ExperimentService::Impl
         std::atomic<bool> readerDone{false};
         std::thread reader;
 
+        /** Runs only after the last shared_ptr holder (reader
+         *  thread, conns list, queued Tasks) drops, so closing here
+         *  is what keeps a long-lived daemon from leaking one fd per
+         *  disconnected client until EMFILE kills accept(). */
+        ~Conn()
+        {
+            if (fd >= 0)
+                ::close(fd);
+        }
+
         /** Serialize one response line onto the socket. Returns
          *  false (and latches the connection closed) on any write
          *  error — a vanished client stops costing us syscalls. */
@@ -759,7 +769,14 @@ ExperimentService::stop()
         for (auto &[key, inf] : impl->inflight)
             inf.token->cancel("shutdown: service stopping");
     }
-    impl->queueCv.notify_all();
+    {
+        // The workers' wait predicate reads `running`, which was
+        // flipped outside queueMu; notifying while holding the mutex
+        // orders the flip with the wait so no worker can check the
+        // predicate, miss the flip, and then block past the notify.
+        std::lock_guard<std::mutex> lock(impl->queueMu);
+        impl->queueCv.notify_all();
+    }
     for (auto &w : impl->workers)
         w.join();
     impl->workers.clear();
@@ -774,7 +791,7 @@ ExperimentService::stop()
         ::shutdown(c->fd, SHUT_RDWR);
         if (c->reader.joinable())
             c->reader.join();
-        ::close(c->fd);
+        // ~Conn closes the fd once queued Tasks release their refs.
     }
 }
 

@@ -12,12 +12,14 @@
 
 #include <sys/socket.h>
 #include <sys/types.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <csignal>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -144,6 +146,37 @@ TEST(Protocol, RejectsUnknownTopLevelKey)
     EXPECT_NE(err.find("bogus"), std::string::npos) << err;
     // The id is still recovered so the rejection can be routed.
     EXPECT_EQ(req.id, "r3");
+}
+
+TEST(Protocol, RejectsKeysMisplacedAcrossOps)
+{
+    // The whitelist is per-op: a key that is legal for *some* op
+    // must still be rejected on an op it does not belong to, never
+    // silently dropped.
+    struct Case
+    {
+        const char *line;
+        const char *key;
+    } cases[] = {
+        {R"({"op":"figure","id":"m1","figure":"fig1","scale":"full"})",
+         "scale"},
+        {R"({"op":"sim","id":"m2","workload":"bfs","target":"x"})",
+         "target"},
+        {R"({"op":"sim","id":"m3","workload":"bfs","figure":"fig1"})",
+         "figure"},
+        {R"({"op":"stats","id":"m4","deadline_ms":100})",
+         "deadline_ms"},
+        {R"({"op":"cancel","id":"m5","target":"t","config":{}})",
+         "config"},
+        {R"({"op":"ping","figure":"fig1"})", "figure"},
+    };
+    for (const Case &c : cases) {
+        Request req;
+        std::string err;
+        EXPECT_FALSE(service::parseRequest(c.line, req, err))
+            << "accepted: " << c.line;
+        EXPECT_NE(err.find(c.key), std::string::npos) << err;
+    }
 }
 
 TEST(Protocol, RejectsUnknownConfigField)
@@ -453,6 +486,85 @@ TEST(Service, BadRequestsDoNotPoisonTheConnection)
     // After all that abuse the stream still serves real work.
     ASSERT_TRUE(c.sendSim("good", "backprop", "tiny", "{}"));
     EXPECT_TRUE(c.await("good").ok());
+    svc.stop();
+}
+
+TEST(Client, MalformedResponseLinesAreSkippedNotFatal)
+{
+    // A hand-rolled "daemon" that answers with one unparseable line
+    // and one future-protocol line before the real terminal
+    // response: the client must skip both and still complete the
+    // request, reserving ConnectionLost for the actual hangup.
+    ScratchDir scratch("malresp");
+    int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(lfd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::string path = scratch.socket();
+    ASSERT_LT(path.size(), sizeof(addr.sun_path));
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    ASSERT_EQ(::listen(lfd, 1), 0);
+    std::thread fakeDaemon([&] {
+        int cfd = ::accept(lfd, nullptr, nullptr);
+        EXPECT_GE(cfd, 0);
+        std::string lines =
+            "certainly not json\n"
+            "{\"id\":\"q\",\"type\":\"from-the-future\"}\n"
+            "{\"id\":\"q\",\"type\":\"done\",\"lane\":\"warm\","
+            "\"chunks\":0,\"bytes\":0,\"wall_us\":1}\n";
+        ssize_t wn = ::write(cfd, lines.data(), lines.size());
+        EXPECT_EQ(size_t(wn), lines.size());
+        ::close(cfd);
+    });
+
+    ServiceClient c;
+    ASSERT_TRUE(c.connect(scratch.socket()));
+    service::Event ev = c.readEvent();
+    EXPECT_EQ(ev.type, service::Event::Type::Malformed);
+    Outcome out = c.await("q"); // skips the unknown-type line
+    EXPECT_TRUE(out.ok());
+    EXPECT_EQ(out.lane, "warm");
+    // Only the real hangup reports as a lost connection.
+    EXPECT_EQ(c.readEvent().type,
+              service::Event::Type::ConnectionLost);
+    fakeDaemon.join();
+    ::close(lfd);
+}
+
+TEST(Service, DisconnectedClientsDoNotLeakFds)
+{
+    if (!std::filesystem::exists("/proc/self/fd"))
+        GTEST_SKIP() << "needs /proc to count open fds";
+    ScratchDir scratch("fdleak");
+    ExperimentService svc(testConfig(scratch));
+    ASSERT_TRUE(svc.start());
+
+    auto cycle = [&] {
+        ServiceClient c;
+        ASSERT_TRUE(c.connect(scratch.socket()));
+        ASSERT_TRUE(c.sendPing());
+        EXPECT_EQ(c.readEvent().type, service::Event::Type::Pong);
+    };
+    auto openFds = [] {
+        size_t n = 0;
+        for ([[maybe_unused]] const auto &e :
+             std::filesystem::directory_iterator("/proc/self/fd"))
+            ++n;
+        return n;
+    };
+
+    cycle(); // prime: the newest disconnect is always reaped lazily
+    size_t baseline = openFds();
+    for (int i = 0; i < 32; ++i)
+        cycle();
+    // Each accept reaps earlier disconnected conns and ~Conn closes
+    // their fds; only the most recent disconnect (plus one
+    // slow-reader race) may still be open. Before the destructor
+    // existed this grew by one fd per cycle.
+    EXPECT_LE(openFds(), baseline + 3);
     svc.stop();
 }
 
