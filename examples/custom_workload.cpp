@@ -29,6 +29,7 @@ const core::WorkloadInfo kInfo = {
     "Example",
     "65536 elements",
     "y = a*x + y followed by a block-level sum reduction",
+    "65536 elements",
 };
 
 class SaxpyReduce : public core::Workload

@@ -4,8 +4,8 @@
  * the tool a downstream user scripts against.
  *
  *   suite_runner list
- *   suite_runner cpu <workload> [tiny|small|full] [threads]
- *   suite_runner gpu <workload> [tiny|small|full] [version]
+ *   suite_runner cpu <workload> [tiny|small|full|paper] [threads]
+ *   suite_runner gpu <workload> [tiny|small|full|paper] [version]
  *   suite_runner sweep <workload>          # cache-size sweep table
  */
 
@@ -31,7 +31,10 @@ scaleOf(const char *s)
         return core::Scale::Tiny;
     if (!std::strcmp(s, "small"))
         return core::Scale::Small;
-    std::fprintf(stderr, "unknown scale '%s' (tiny|small|full)\n", s);
+    if (!std::strcmp(s, "paper"))
+        return core::Scale::Paper;
+    std::fprintf(stderr, "unknown scale '%s' (tiny|small|full|paper)\n",
+                 s);
     std::exit(1);
 }
 

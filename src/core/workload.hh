@@ -27,11 +27,12 @@ namespace core {
 /** Which benchmark collection a workload belongs to. */
 enum class Suite { Rodinia, Parsec, Both };
 
-/** Problem-size tier (all tiers are scaled for simulation). */
+/** Problem-size tier (lower tiers are scaled for simulation). */
 enum class Scale {
     Tiny, //!< smallest: parameter sweeps (Plackett-Burman) and tests
     Small, //!< quick characterization runs
     Full, //!< default evaluation size (scaled down from Table I)
+    Paper, //!< the paper's Table I problem sizes (streaming traces)
 };
 
 /** Static metadata about one workload (Tables I and V). */
@@ -44,6 +45,11 @@ struct WorkloadInfo
     std::string domain;      //!< application domain
     std::string problemSize; //!< human-readable Full-scale size
     std::string description;
+    /** Human-readable Paper-scale (Table I) size; trailing field so
+     *  aggregate-initialized registrations without it still compile
+     *  (and problemSize strings — printed by the Table I figure —
+     *  stay untouched). */
+    std::string paperSize;
 };
 
 /** One benchmark with instrumented CPU and (optionally) GPU code. */

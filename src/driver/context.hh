@@ -64,6 +64,12 @@ class Context
     explicit Context(ResultStore *store = nullptr,
                      Executor *executor = nullptr);
 
+    /** Uninstalls the trace-spill sink if the constructor armed it. */
+    ~Context();
+
+    Context(const Context &) = delete;
+    Context &operator=(const Context &) = delete;
+
     /** One workload's CPU characterization (memoized + cached). */
     const core::CpuCharacterization &
     cpu(const std::string &name, core::Scale scale, int threads = 8);
@@ -156,6 +162,12 @@ class Context
 
     ResultStore *store;
     Executor *exec;
+
+    /** ResultStore-backed trace-chunk spill sink (see context.cc);
+     *  non-null only when RODINIA_TRACE_SPILL_CHUNKS armed it. */
+    std::unique_ptr<trace::ChunkSink> spillSink;
+    trace::ChunkSink *prevSpillSink = nullptr;
+    uint32_t prevSpillResident = 0;
 
     /** Content hash of a memoized recording (memoized itself: the
      *  digest walks every event, so figures sharing a recording

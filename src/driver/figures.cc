@@ -20,6 +20,29 @@
 namespace rodinia {
 namespace driver {
 
+namespace {
+
+core::Scale &
+primaryScaleSlot()
+{
+    static core::Scale scale = core::Scale::Full;
+    return scale;
+}
+
+} // namespace
+
+core::Scale
+primaryScale()
+{
+    return primaryScaleSlot();
+}
+
+void
+setPrimaryScale(core::Scale scale)
+{
+    primaryScaleSlot() = scale;
+}
+
 std::string
 renderScatter(const std::vector<double> &xs,
               const std::vector<double> &ys,
@@ -133,7 +156,7 @@ buildFig1(Context &ctx)
         size_t b = idx / 2;
         size_t si = idx % 2;
         const auto &st =
-            ctx.gpuStats(order[b].first, core::Scale::Full, 0,
+            ctx.gpuStats(order[b].first, primaryScale(), 0,
                          gpusim::SimConfig::shaders(kShaders[si]));
         ipc[b][si] = st.ipc();
     });
@@ -168,7 +191,7 @@ buildFig2(Context &ctx)
     t.setHeader({"Benchmark", "Shared", "Tex", "Const", "Param",
                  "Global/Local"});
     for (const auto &[name, label] : figureOrder()) {
-        const auto &seq = ctx.gpu(name, core::Scale::Full);
+        const auto &seq = ctx.gpu(name, primaryScale());
         auto stats = gpusim::analyzeTrace(seq);
         auto f = stats.memOpFractions();
         double globloc =
@@ -193,7 +216,7 @@ buildFig3(Context &ctx)
     t.setHeader({"Benchmark", "1-8", "9-16", "17-24", "25-32",
                  "avg active"});
     for (const auto &[name, label] : figureOrder()) {
-        const auto &seq = ctx.gpu(name, core::Scale::Full);
+        const auto &seq = ctx.gpu(name, primaryScale());
         auto stats = gpusim::analyzeTrace(seq);
         auto f = stats.occupancyFractions();
         t.addRow({label, Table::pct(f[0]), Table::pct(f[1]),
@@ -228,7 +251,7 @@ buildFig4(Context &ctx)
         gpusim::SimConfig cfg = gpusim::SimConfig::gpgpusimDefault();
         cfg.numChannels = kChannels[ci];
         const auto &st =
-            ctx.gpuStats(order[b].first, core::Scale::Full, 0, cfg);
+            ctx.gpuStats(order[b].first, primaryScale(), 0, cfg);
         slots[b].cycles[ci] = double(st.cycles);
         if (kChannels[ci] == 4)
             slots[b].util4 = st.bwUtilization();
@@ -266,7 +289,7 @@ buildFig5(Context &ctx)
         size_t b = idx / 3;
         size_t ci = idx % 3;
         const auto &st = ctx.gpuStats(order[b].first,
-                                      core::Scale::Full, 0,
+                                      primaryScale(), 0,
                                       configFor(ci));
         us[b][ci] = st.timeUs();
     });
@@ -311,10 +334,10 @@ buildTable3(Context &ctx)
     ctx.parallelFor(kNumCombos, [&](size_t i) {
         const auto &[name, version] = kCombos[i];
         slots[i].st =
-            ctx.gpuStats(name, core::Scale::Full, version,
+            ctx.gpuStats(name, primaryScale(), version,
                          gpusim::SimConfig::gpgpusimDefault());
         slots[i].mix = gpusim::analyzeTrace(
-                           ctx.gpu(name, core::Scale::Full, version))
+                           ctx.gpu(name, primaryScale(), version))
                            .memOpFractions();
     });
 
@@ -426,7 +449,7 @@ buildPbSensitivity(Context &ctx)
 std::string
 buildFig6(Context &ctx)
 {
-    auto chars = ctx.allCpu(core::Scale::Full);
+    auto chars = ctx.allCpu(primaryScale());
 
     std::vector<std::vector<double>> rows;
     std::vector<std::string> labels;
@@ -467,7 +490,7 @@ buildPcaScatter(Context &ctx, const char *caption,
                 std::vector<double> (core::CpuCharacterization::*features)()
                     const)
 {
-    auto chars = ctx.allCpu(core::Scale::Full);
+    auto chars = ctx.allCpu(primaryScale());
     std::vector<std::vector<double>> rows;
     std::vector<std::string> labels;
     std::vector<core::Suite> suites;
@@ -518,7 +541,7 @@ buildFig9(Context &ctx)
 std::string
 buildFig10(Context &ctx)
 {
-    auto chars = ctx.allCpu(core::Scale::Full);
+    auto chars = ctx.allCpu(primaryScale());
 
     // Find the 4 MB sweep index.
     size_t idx4mb = 0;
@@ -549,7 +572,7 @@ buildFig10(Context &ctx)
 std::string
 buildFig11(Context &ctx)
 {
-    auto chars = ctx.allCpu(core::Scale::Full);
+    auto chars = ctx.allCpu(primaryScale());
     std::vector<std::tuple<double, std::string, core::Suite>> rows;
     for (const auto &c : chars)
         rows.emplace_back(double(c.instructionBlocks), c.name, c.suite);
@@ -588,7 +611,7 @@ buildFig11(Context &ctx)
 std::string
 buildFig12(Context &ctx)
 {
-    auto chars = ctx.allCpu(core::Scale::Full);
+    auto chars = ctx.allCpu(primaryScale());
     std::vector<std::tuple<double, std::string, core::Suite>> rows;
     for (const auto &c : chars)
         rows.emplace_back(double(c.dataPages), c.name, c.suite);
@@ -734,9 +757,17 @@ figureOrderDeps(core::Scale scale)
 const std::vector<FigureDef> &
 allFigures()
 {
-    static const std::vector<FigureDef> figures = [] {
+    // Cached per primary scale: the GPU dependency lists embed the
+    // scale, so a --scale change (set once at startup, before any
+    // figure is built) rebuilds the table on the next call.
+    static core::Scale builtFor = core::Scale::Full;
+    static std::vector<FigureDef> figures;
+    if (!figures.empty() && builtFor == primaryScale())
+        return figures;
+    builtFor = primaryScale();
+    figures = [] {
         std::vector<FigureDef> f;
-        auto fullOrder = figureOrderDeps(core::Scale::Full);
+        auto fullOrder = figureOrderDeps(primaryScale());
         auto smallOrder = figureOrderDeps(core::Scale::Small);
 
         f.push_back({"table1", "table1/inventory", buildTable1, false,
@@ -750,14 +781,14 @@ allFigures()
             {"fig4", "fig4/channels", buildFig4, false, fullOrder});
         f.push_back({"fig5", "fig5/fermi", buildFig5, false, fullOrder});
         f.push_back({"table3", "table3/incremental", buildTable3, false,
-                     {{"srad", core::Scale::Full, 1},
-                      {"srad", core::Scale::Full, 2},
-                      {"leukocyte", core::Scale::Full, 1},
-                      {"leukocyte", core::Scale::Full, 2},
-                      {"nw", core::Scale::Full, 1},
-                      {"nw", core::Scale::Full, 2},
-                      {"lud", core::Scale::Full, 1},
-                      {"lud", core::Scale::Full, 2}}});
+                     {{"srad", primaryScale(), 1},
+                      {"srad", primaryScale(), 2},
+                      {"leukocyte", primaryScale(), 1},
+                      {"leukocyte", primaryScale(), 2},
+                      {"nw", primaryScale(), 1},
+                      {"nw", primaryScale(), 2},
+                      {"lud", primaryScale(), 1},
+                      {"lud", primaryScale(), 2}}});
         f.push_back({"pb", "sec3e/plackett_burman", buildPbSensitivity,
                      false, smallOrder});
         f.push_back(

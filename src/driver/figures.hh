@@ -28,6 +28,17 @@
 namespace rodinia {
 namespace driver {
 
+/**
+ * The problem-size tier the figure builders characterize and replay
+ * (defaults to Scale::Full). The experiments CLI sets this from its
+ * --scale flag before building anything; ablation and sensitivity
+ * figures that intentionally run at Scale::Small are unaffected.
+ * Changing the scale invalidates FigureDef pointers previously
+ * returned by allFigures()/findFigure(), so set it once at startup.
+ */
+core::Scale primaryScale();
+void setPrimaryScale(core::Scale scale);
+
 /** One GPU launch recording a figure replays. */
 struct GpuDep
 {

@@ -72,14 +72,14 @@ DeviceSpace::rewrite(LaunchSequence &seq) const
     for (auto &launch : seq.launches) {
         for (auto &block : launch.blocks) {
             for (auto &lane : block.lanes) {
-                for (auto &e : lane) {
+                lane.transform([&](GEvent &e) {
                     if (e.op != GOp::Load && e.op != GOp::Store)
-                        continue;
+                        return;
                     if (e.space == Space::Shared ||
                         e.space == Space::None)
-                        continue;
+                        return;
                     e.addr = remap(e.addr);
-                }
+                });
             }
         }
     }

@@ -237,7 +237,26 @@ class KernelCtx
     bool pcInHi = true;
     int pcShift = 48;
 
-    std::vector<GEvent> events;
+    /**
+     * The lane trace under construction plus a one-event merge
+     * buffer: the most recent event stays in `pending` so batched
+     * ALU work at the same site can bump its repeat count before it
+     * is committed to the (append-only) stream. flushPending() is
+     * called before reading the stream and when the block finishes.
+     */
+    LaneStream events;
+    GEvent pending{};
+    bool hasPending = false;
+
+    void
+    flushPending()
+    {
+        if (hasPending) {
+            events.append(pending);
+            hasPending = false;
+        }
+    }
+
     size_t sharedCursor = 0;
 
     friend class BlockRunner;

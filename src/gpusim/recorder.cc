@@ -14,7 +14,14 @@ namespace {
 
 constexpr size_t fiberStackBytes = 128 * 1024;
 constexpr uint64_t sharedBase = 0x10000;
-constexpr uint64_t maxEventsPerLaunch = 80ULL * 1000 * 1000;
+/**
+ * Runaway-kernel guard. Sized for the streamed LaneStream encoding
+ * (~3-5 B/event, so a maximal launch is ~1-1.5 GB): paper-scale
+ * kmeans records ~90 M thread events in one launch and must fit.
+ * Before streaming this was 80 M — the materialized 32 B GEvent
+ * vectors made anything larger unaffordable.
+ */
+constexpr uint64_t maxEventsPerLaunch = 320ULL * 1000 * 1000;
 
 /**
  * Recycles fiber stacks across the blocks of one launch. Blocks run
@@ -197,6 +204,7 @@ BlockRunner::run()
     rec.sharedBytes = sharedTop - sharedBase;
     rec.lanes.reserve(n);
     for (int t = 0; t < n; ++t) {
+        ctxs[t]->flushPending();
         eventBudgetUsed += ctxs[t]->events.size();
         rec.lanes.push_back(std::move(ctxs[t]->events));
         stacks.put(std::move(fibers[t].stack));
@@ -266,28 +274,29 @@ KernelCtx::record(GOp op, Space space, uint64_t addr, uint32_t size,
                   const std::source_location &loc, uint32_t count)
 {
     OrderKey key = currentKey(packPc(loc));
-    if ((op == GOp::IntAlu || op == GOp::FpAlu) && !events.empty()) {
-        GEvent &last = events.back();
-        if (last.op == op && last.key == key &&
-            uint64_t(last.count) + count <= 0xffffffffu) {
-            // Merge only while the 32-bit repeat counter has room; a
-            // kernel issuing >4G ALU ops at one site spills into a
-            // fresh event instead of silently wrapping.
-            last.count += count;
-            return;
-        }
+    if ((op == GOp::IntAlu || op == GOp::FpAlu) && hasPending &&
+        pending.op == op && pending.key == key &&
+        uint64_t(pending.count) + count <= 0xffffffffu) {
+        // Merge only while the 32-bit repeat counter has room; a
+        // kernel issuing >4G ALU ops at one site spills into a
+        // fresh event instead of silently wrapping. The last event
+        // lives in `pending` (not yet committed to the append-only
+        // stream) precisely so this merge can mutate it.
+        pending.count += count;
+        return;
     }
-    if (runner->eventBudgetUsed + events.size() > maxEventsPerLaunch)
+    if (runner->eventBudgetUsed + events.size() + (hasPending ? 1 : 0) >
+        maxEventsPerLaunch)
         fatal("kernel trace exceeds ", maxEventsPerLaunch,
               " events; reduce the problem size");
-    GEvent e;
-    e.key = key;
-    e.addr = addr;
-    e.size = size;
-    e.count = count;
-    e.op = op;
-    e.space = space;
-    events.push_back(e);
+    flushPending();
+    pending.key = key;
+    pending.addr = addr;
+    pending.size = size;
+    pending.count = count;
+    pending.op = op;
+    pending.space = space;
+    hasPending = true;
 }
 
 void
@@ -329,8 +338,9 @@ KernelRecording::threadInstructions() const
     uint64_t n = 0;
     for (const auto &block : blocks)
         for (const auto &lane : block.lanes)
-            for (const auto &e : lane)
+            lane.forEach([&](const GEvent &e) {
                 n += e.op == GOp::Sync ? 1 : e.count;
+            });
     return n;
 }
 
@@ -340,10 +350,10 @@ KernelRecording::memOpsBySpace() const
     std::vector<uint64_t> out(size_t(Space::Local) + 1, 0);
     for (const auto &block : blocks) {
         for (const auto &lane : block.lanes) {
-            for (const auto &e : lane) {
+            lane.forEach([&](const GEvent &e) {
                 if (e.op == GOp::Load || e.op == GOp::Store)
                     out[size_t(e.space)] += 1;
-            }
+            });
         }
     }
     return out;
@@ -406,15 +416,19 @@ contentHash(const KernelRecording &rec)
         h = mixWord(h, uint64_t(block.lanes.size()));
         for (const auto &lane : block.lanes) {
             h = mixWord(h, uint64_t(lane.size()));
-            for (const auto &e : lane) {
-                // Field-by-field (a GEvent has padding bytes whose
-                // contents are unspecified). Two mix rounds per
-                // event, not five: each field is premixed with a
-                // distinct odd multiplier so contributions cannot
-                // cancel by simple XOR alignment, and the full
-                // avalanche runs on the combined words. This loop
-                // hashes tens of millions of events per run, so the
-                // round count is what the recording phase pays.
+            lane.forEach([&](const GEvent &e) {
+                // Field-by-field over the decoded event (a GEvent
+                // has padding bytes whose contents are unspecified),
+                // so the digest is a pure function of the logical
+                // trace and identical across the compact and oracle
+                // representations — store keys must not depend on
+                // how the trace is stored. Two mix rounds per event,
+                // not five: each field is premixed with a distinct
+                // odd multiplier so contributions cannot cancel by
+                // simple XOR alignment, and the full avalanche runs
+                // on the combined words. This loop hashes tens of
+                // millions of events per run, so the round count is
+                // what the recording phase pays.
                 uint64_t w1 =
                     e.key.hi * 0x9e3779b97f4a7c15ull + e.key.lo;
                 uint64_t w2 =
@@ -426,7 +440,7 @@ contentHash(const KernelRecording &rec)
                      uint64_t(uint8_t(e.space))) *
                         0xff51afd7ed558ccdull;
                 h = mixWord(mixWord(h, w1), w2);
-            }
+            });
         }
     }
     return h;

@@ -15,9 +15,9 @@ WarpReplayer::WarpReplayer(const BlockRecord &block, int warp_start,
         const auto &trace = block.lanes[size_t(warp_start + l)];
         if (trace.empty())
             continue;
-        cur[size_t(l)] = trace.data();
-        end[size_t(l)] = trace.data() + trace.size();
-        live |= 1u << l;
+        cur[size_t(l)] = LaneStream::Cursor(trace);
+        if (cur[size_t(l)].next(ev[size_t(l)]))
+            live |= 1u << l;
     }
 }
 

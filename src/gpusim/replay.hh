@@ -55,14 +55,15 @@ class WarpReplayer
     bool done() const { return live == 0; }
 
   private:
-    // Per-lane [cur, end) windows into the block's lane vectors (the
-    // recording is immutable, so the pointers stay valid), plus a
-    // bitmask of lanes with events left. next() runs once per warp
-    // instruction on the hot simulation path, so its two lane scans
-    // walk only the set bits of `live` instead of re-chasing the
-    // nested vectors for all 32 lanes each time.
-    std::array<const GEvent *, 32> cur{};
-    std::array<const GEvent *, 32> end{};
+    // Per-lane stream cursors plus a one-event decoded lookahead:
+    // ev[l] always holds lane l's next undelivered event, decoded
+    // once when the previous one was consumed. The min-key scan in
+    // next() therefore reads plain structs exactly as the old
+    // pointer-window formulation did — the delta decode happens once
+    // per event, not once per scan — and walks only the set bits of
+    // `live` (lanes with events left).
+    std::array<LaneStream::Cursor, 32> cur{};
+    std::array<GEvent, 32> ev{};
     uint32_t live = 0;
 };
 
@@ -91,7 +92,7 @@ WarpReplayer::next(WarpInst &out)
     out.count = 1;
     for (uint32_t m = live; m; m &= m - 1) {
         int l = __builtin_ctz(m);
-        const GEvent &e = *cur[std::size_t(l)];
+        const GEvent &e = ev[std::size_t(l)];
         if (!min_ev || e.key < min_ev->key) {
             min_ev = &e;
             out.op = e.op;
@@ -109,10 +110,11 @@ WarpReplayer::next(WarpInst &out)
             out.count = e.count;
     }
 
-    // Consume the gathered lanes' events.
+    // Consume the gathered lanes' events: decode each lane's next
+    // event into its lookahead slot, dropping exhausted lanes.
     for (uint32_t m = out.activeMask; m; m &= m - 1) {
         int l = __builtin_ctz(m);
-        if (++cur[std::size_t(l)] == end[std::size_t(l)])
+        if (!cur[std::size_t(l)].next(ev[std::size_t(l)]))
             live &= ~(1u << l);
     }
     return true;

@@ -10,14 +10,27 @@
  * comparing keys lexicographically reproduces program execution
  * order, which lets the warp replayer model SIMT reconvergence by
  * always executing the minimum-key lanes together.
+ *
+ * Lane traces are stored as LaneStreams: delta-encoded byte buffers
+ * (order-key deltas, address deltas, op/space tag bytes, optional
+ * repeat counts) decoded sequentially during replay. A 40-byte GEvent
+ * compresses to a few bytes because consecutive events share key
+ * prefixes and access strides — that is what makes paper-scale
+ * recordings fit in memory. The materialized GEvent-vector
+ * representation survives behind support::traceOracleMode() as the
+ * byte-equivalence oracle.
  */
 
 #ifndef RODINIA_GPUSIM_TYPES_HH
 #define RODINIA_GPUSIM_TYPES_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <source_location>
 #include <vector>
+
+#include "support/tracemode.hh"
+#include "support/varint.hh"
 
 namespace rodinia {
 namespace gpusim {
@@ -68,11 +81,22 @@ struct OrderKey
     }
 };
 
-/** Compress a source location into a 16-bit PC. */
+/**
+ * Compress a source location into a 16-bit PC.
+ *
+ * Lines above 1023 fold their overflow bits back into the 10-bit
+ * field (XOR of the 10-bit groups) instead of clamping: clamping
+ * mapped every line past 1023 to the same PC, so distinct
+ * instrumentation sites deep in a large file collided into one key
+ * slot, merging distinct loop levels and distorting SIMT
+ * reconvergence. For lines <= 1023 the folds are no-ops, so existing
+ * PCs (and every recorded content hash) are unchanged.
+ */
 inline uint16_t
 packPc(const std::source_location &loc)
 {
-    uint32_t line = loc.line() > 1023 ? 1023 : loc.line();
+    uint32_t line = loc.line();
+    line = (line ^ (line >> 10) ^ (line >> 20)) & 1023;
     uint32_t col = loc.column() > 63 ? 63 : loc.column();
     uint16_t pc = uint16_t((line << 6) | col);
     return pc ? pc : 1;
@@ -89,6 +113,191 @@ struct GEvent
     Space space = Space::None;
 };
 
+/**
+ * Compact append-only storage for one lane's event trace.
+ *
+ * Events are delta-encoded into a single byte buffer: a tag byte
+ * (op, space, presence bits), zigzag-varint deltas of the two order-
+ * key words against the previous event, a zigzag-varint address
+ * delta against the previous memory access plus a varint size (only
+ * for events that carry an address), and a varint repeat count (only
+ * when != 1). One buffer per lane — not one per column — because a
+ * paper-scale launch has millions of short lanes and per-lane column
+ * vectors would cost more in headers than the payload; the CPU-side
+ * trace::EventStream, with few long streams, keeps true columns.
+ *
+ * Decoding is sequential via Cursor, which is exactly how the warp
+ * replayer, the content hash, and the aggregate counters consume
+ * lanes. In oracle mode (support::traceOracleMode()) the stream
+ * stores plain GEvents instead and must behave identically.
+ */
+class LaneStream
+{
+  public:
+    LaneStream() : materializedMode(support::traceOracleMode()) {}
+
+    /** Force a representation (tests); production uses the default. */
+    explicit LaneStream(bool materialized)
+        : materializedMode(materialized)
+    {
+    }
+
+    /** Append one event at the tail of the lane. */
+    void
+    append(const GEvent &e)
+    {
+        ++count;
+        if (materializedMode) {
+            vec.push_back(e);
+            return;
+        }
+        bool hasAddr = e.addr != 0 || e.size != 0;
+        bool hasCount = e.count != 1;
+        uint8_t tag = uint8_t(uint8_t(e.op) | (uint8_t(e.space) << 3) |
+                              (hasAddr ? 0x40 : 0) |
+                              (hasCount ? 0x80 : 0));
+        buf.push_back(tag);
+        // Order keys are packed most-significant-first (the event PC
+        // occupies bits 48-63 of an empty stack), so consecutive
+        // events differ in the HIGH bits — the worst case for a
+        // little-endian varint of an arithmetic delta. Byte-swapping
+        // before an XOR delta moves the changing bytes to the low
+        // end: a PC change costs 1-3 varint bytes instead of 8-10.
+        uint64_t swHi = __builtin_bswap64(e.key.hi);
+        uint64_t swLo = __builtin_bswap64(e.key.lo);
+        support::putVarint(buf, swHi ^ prevKeyHi);
+        support::putVarint(buf, swLo ^ prevKeyLo);
+        prevKeyHi = swHi;
+        prevKeyLo = swLo;
+        if (hasAddr) {
+            support::putVarint(
+                buf, support::zigzag(int64_t(e.addr - prevAddr)));
+            support::putVarint(buf, e.size);
+            prevAddr = e.addr;
+        }
+        if (hasCount)
+            support::putVarint(buf, e.count);
+    }
+
+    uint64_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    bool materialized() const { return materializedMode; }
+
+    /** Encoded payload bytes (materialized mode: struct bytes). */
+    uint64_t
+    encodedBytes() const
+    {
+        return materializedMode ? count * sizeof(GEvent) : buf.size();
+    }
+
+    /** Sequential decoder; do not append while cursors exist. */
+    class Cursor
+    {
+      public:
+        Cursor() = default;
+        explicit Cursor(const LaneStream &stream)
+            : s(&stream), remaining(stream.count)
+        {
+        }
+
+        /** Decode the next event into out; false at end of lane. */
+        bool
+        next(GEvent &out)
+        {
+            if (remaining == 0)
+                return false;
+            --remaining;
+            if (s->materializedMode) {
+                out = s->vec[idx++];
+                return true;
+            }
+            const uint8_t *p = s->buf.data() + off;
+            uint8_t tag = *p++;
+            out.op = GOp(tag & 7);
+            out.space = Space((tag >> 3) & 7);
+            prevKeyHi ^= support::getVarint(p);
+            prevKeyLo ^= support::getVarint(p);
+            out.key.hi = __builtin_bswap64(prevKeyHi);
+            out.key.lo = __builtin_bswap64(prevKeyLo);
+            if (tag & 0x40) {
+                prevAddr +=
+                    uint64_t(support::unzigzag(support::getVarint(p)));
+                out.addr = prevAddr;
+                out.size = uint32_t(support::getVarint(p));
+            } else {
+                out.addr = 0;
+                out.size = 0;
+            }
+            out.count = (tag & 0x80) ? uint32_t(support::getVarint(p)) : 1;
+            off = std::size_t(p - s->buf.data());
+            return true;
+        }
+
+      private:
+        const LaneStream *s = nullptr;
+        uint64_t remaining = 0;
+        std::size_t idx = 0; //!< materialized-mode position
+        std::size_t off = 0; //!< compact-mode byte offset
+        uint64_t prevKeyHi = 0;
+        uint64_t prevKeyLo = 0;
+        uint64_t prevAddr = 0;
+    };
+
+    /** Visit every event in order (inlined per-event dispatch). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        Cursor c(*this);
+        GEvent e;
+        while (c.next(e))
+            fn(e);
+    }
+
+    /** Materialize the lane (tests / small traces only). */
+    std::vector<GEvent>
+    decodeAll() const
+    {
+        std::vector<GEvent> out;
+        out.reserve(std::size_t(count));
+        forEach([&](const GEvent &e) { out.push_back(e); });
+        return out;
+    }
+
+    /**
+     * Rewrite every event in place: decode, apply fn(GEvent&),
+     * re-encode. Used by DeviceSpace::rewrite to remap addresses
+     * onto the canonical device layout. Invalidates cursors.
+     */
+    template <typename Fn>
+    void
+    transform(Fn &&fn)
+    {
+        if (materializedMode) {
+            for (auto &e : vec)
+                fn(e);
+            return;
+        }
+        LaneStream out(false);
+        out.buf.reserve(buf.size());
+        forEach([&](const GEvent &ev) {
+            GEvent m = ev;
+            fn(m);
+            out.append(m);
+        });
+        *this = std::move(out);
+    }
+
+  private:
+    bool materializedMode;
+    uint64_t count = 0;
+    std::vector<GEvent> vec;  //!< materialized (oracle) storage
+    std::vector<uint8_t> buf; //!< delta-encoded compact storage
+    uint64_t prevKeyHi = 0;   //!< encoder state: byte-swapped key words
+    uint64_t prevKeyLo = 0;
+    uint64_t prevAddr = 0;    //!< encoder state: previous mem address
+};
+
 /** Kernel launch geometry (1-D grid and block, as Rodinia uses). */
 struct LaunchConfig
 {
@@ -101,7 +310,7 @@ struct LaunchConfig
 /** Recording of one thread block: one event trace per thread. */
 struct BlockRecord
 {
-    std::vector<std::vector<GEvent>> lanes;
+    std::vector<LaneStream> lanes;
     uint64_t sharedBytes = 0;
     int blockDim = 0;
 };

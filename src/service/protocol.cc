@@ -328,6 +328,8 @@ parseScale(const std::string &s, core::Scale &out)
         out = core::Scale::Small;
     else if (s == "full")
         out = core::Scale::Full;
+    else if (s == "paper")
+        out = core::Scale::Paper;
     else
         return false;
     return true;
@@ -582,7 +584,7 @@ parseRequest(const std::string &line, Request &out, std::string &error)
         if (const Json *sc = root.get("scale")) {
             if (!sc->isString() ||
                 !parseScale(sc->string(), out.scale)) {
-                error = "scale must be tiny|small|full";
+                error = "scale must be tiny|small|full|paper";
                 return false;
             }
         }

@@ -18,7 +18,7 @@
  *
  *   {"op":"ping"}
  *   {"op":"figure","id":REQ,"figure":"fig1"[,"deadline_ms":N]}
- *   {"op":"sim","id":REQ,"workload":"bfs"[,"scale":"tiny|small|full"]
+ *   {"op":"sim","id":REQ,"workload":"bfs"[,"scale":"tiny|small|full|paper"]
  *       [,"version":N][,"config":{SimConfig fields...}]
  *       [,"deadline_ms":N]}
  *   {"op":"stats","id":REQ}

@@ -1,0 +1,43 @@
+#include "support/tracemode.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace rodinia {
+namespace support {
+
+namespace {
+
+bool
+readEnvMode()
+{
+    const char *v = std::getenv("RODINIA_TRACE_ORACLE");
+    return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+/** Latched mode; mutable only through setTraceOracleModeForTest. */
+bool &
+modeSlot()
+{
+    static bool materialized = readEnvMode();
+    return materialized;
+}
+
+} // namespace
+
+bool
+traceOracleMode()
+{
+    return modeSlot();
+}
+
+bool
+setTraceOracleModeForTest(bool materialized)
+{
+    bool prev = modeSlot();
+    modeSlot() = materialized;
+    return prev;
+}
+
+} // namespace support
+} // namespace rodinia

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Process-wide trace-representation mode.
+ *
+ * The CPU and GPU trace recorders both keep two interchangeable
+ * storage strategies: the compact delta-encoded streams (default) and
+ * the original materialized struct vectors, retained as a
+ * byte-equivalence oracle. The mode is selected once per process from
+ * the RODINIA_TRACE_ORACLE environment variable so a child process
+ * can replay the identical workload under either representation and
+ * the figure bytes can be diffed.
+ *
+ * Lives in support/ (not trace/) because gpusim must not depend on
+ * the CPU trace library.
+ */
+
+#ifndef RODINIA_SUPPORT_TRACEMODE_HH
+#define RODINIA_SUPPORT_TRACEMODE_HH
+
+namespace rodinia {
+namespace support {
+
+/**
+ * True when RODINIA_TRACE_ORACLE is set to a non-empty value other
+ * than "0": trace recorders materialize plain event vectors instead
+ * of delta-encoded streams. Latched on first call.
+ */
+bool traceOracleMode();
+
+/**
+ * Test-only override of the latched mode; returns the previous
+ * value. Not thread-safe — call only while no trace is recording.
+ */
+bool setTraceOracleModeForTest(bool materialized);
+
+} // namespace support
+} // namespace rodinia
+
+#endif // RODINIA_SUPPORT_TRACEMODE_HH

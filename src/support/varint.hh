@@ -1,0 +1,69 @@
+/**
+ * @file
+ * LEB128 varint and zigzag primitives for the compact trace streams.
+ *
+ * Both trace codecs (trace::EventStream for CPU memory traces,
+ * gpusim::LaneStream for GPU lane traces) store deltas between
+ * consecutive events, which are small for real traces: order keys
+ * advance by one loop iteration, addresses by one element stride.
+ * Varint+zigzag turns those deltas into one or two bytes where the
+ * materialized structs spend eight.
+ *
+ * Header-only on purpose: every call sits on a per-event encode or
+ * decode path and must inline.
+ */
+
+#ifndef RODINIA_SUPPORT_VARINT_HH
+#define RODINIA_SUPPORT_VARINT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rodinia {
+namespace support {
+
+/** Append v as a LEB128 varint (1 byte per 7 bits, low first). */
+inline void
+putVarint(std::vector<uint8_t> &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(uint8_t(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(uint8_t(v));
+}
+
+/** Decode a LEB128 varint, advancing p past it. */
+inline uint64_t
+getVarint(const uint8_t *&p)
+{
+    uint64_t v = uint64_t(*p) & 0x7f;
+    if (*p++ < 0x80) [[likely]]
+        return v;
+    int shift = 7;
+    while (true) {
+        v |= (uint64_t(*p) & 0x7f) << shift;
+        if (*p++ < 0x80)
+            return v;
+        shift += 7;
+    }
+}
+
+/** Map a signed delta onto an unsigned varint-friendly value. */
+inline uint64_t
+zigzag(int64_t v)
+{
+    return (uint64_t(v) << 1) ^ uint64_t(v >> 63);
+}
+
+/** Inverse of zigzag(). */
+inline int64_t
+unzigzag(uint64_t v)
+{
+    return int64_t(v >> 1) ^ -int64_t(v & 1);
+}
+
+} // namespace support
+} // namespace rodinia
+
+#endif // RODINIA_SUPPORT_VARINT_HH

@@ -1,6 +1,5 @@
 #include "trace/trace.hh"
 
-#include <algorithm>
 #include <array>
 #include <thread>
 #include <unordered_set>
@@ -64,7 +63,7 @@ TraceSession::totalEvents() const
 {
     uint64_t n = 0;
     for (const auto &c : ctxs)
-        n += c->events().size();
+        n += c->eventCount();
     return n;
 }
 
@@ -95,12 +94,14 @@ TraceSession::dataFootprintPages() const
 {
     std::unordered_set<uint64_t> pages;
     for (const auto &c : ctxs) {
-        for (const auto &e : c->events()) {
+        c->stream().forEach([&](const MemEvent &e) {
             pages.insert(e.addr >> 12);
-            // Accesses straddling a page boundary touch both pages.
+            // Accesses straddling a page boundary touch both pages
+            // (cannot happen for line-granular events, but stay
+            // correct for hand-built streams in tests).
             if (((e.addr + e.size - 1) >> 12) != (e.addr >> 12))
                 pages.insert((e.addr + e.size - 1) >> 12);
-        }
+        });
     }
     return pages.size();
 }
@@ -108,42 +109,16 @@ TraceSession::dataFootprintPages() const
 void
 TraceSession::normalizeAddresses()
 {
-    // Pass 1: split every event at 64 B line boundaries so each
-    // event covers exactly one line. The cache simulators perform
-    // this split per replay anyway; doing it once here makes every
-    // event relocatable independently (a multi-line event could not
-    // be expressed as one contiguous range once its lines are
-    // remapped to non-adjacent canonical slots).
-    for (auto &c : ctxs) {
-        bool needs_split = false;
-        for (const auto &e : c->memTrace)
-            if ((e.addr >> 6) !=
-                ((e.addr + (e.size ? e.size - 1 : 0)) >> 6)) {
-                needs_split = true;
-                break;
-            }
-        if (!needs_split)
-            continue;
-        std::vector<MemEvent> split;
-        split.reserve(c->memTrace.size());
-        for (const auto &e : c->memTrace) {
-            uint64_t end = e.addr + (e.size ? e.size : 1);
-            for (uint64_t a = e.addr; a < end;) {
-                uint64_t line_end = (a | 63) + 1;
-                uint64_t piece = std::min(end, line_end) - a;
-                split.push_back({a, uint16_t(piece), e.isWrite});
-                a += piece;
-            }
-        }
-        c->memTrace = std::move(split);
-    }
-
-    // Pass 2: assign canonical identities in first-touch order over
-    // the same interleaving the cache simulators replay — pages get
-    // sequential virtual pages, and lines within each page get
-    // sequential slots. First-touch order is a pure function of the
-    // recorded traces, so the canonical layout (and every figure
-    // derived from it) is identical in any process.
+    // Events are line-granular by construction — ThreadCtx::record
+    // splits every access at 64 B boundaries — so each event can be
+    // remapped independently; no splitting pass is needed here.
+    //
+    // Assign canonical identities in first-touch order over the same
+    // interleaving the cache simulators replay: pages get sequential
+    // virtual pages, and lines within each page get sequential
+    // slots. First-touch order is a pure function of the recorded
+    // traces, so the canonical layout (and every figure derived from
+    // it) is identical in any process.
     struct PageMap
     {
         uint64_t vpage;
@@ -179,8 +154,8 @@ TraceSession::normalizeAddresses()
     forEachInterleaved(
         [&](int, const MemEvent &e) { canonical(e.addr); });
     for (auto &c : ctxs)
-        for (auto &e : c->memTrace)
-            e.addr = canonical(e.addr);
+        c->memTrace.transform(
+            [&](MemEvent &e) { e.addr = canonical(e.addr); });
 }
 
 } // namespace trace

@@ -10,6 +10,12 @@
  * of static instrumentation sites executed (for instruction
  * footprints), and the set of data pages touched.
  *
+ * Memory traces are stored as compact delta-encoded streams
+ * (trace::EventStream) so paper-scale inputs fit in memory; accesses
+ * are split at 64-byte line boundaries at record time, so every
+ * stored event covers exactly one cache line (and a multi-megabyte
+ * access can never truncate the uint16_t size field).
+ *
  * Workloads run on real std::threads; the session interleaves the
  * per-thread memory traces round-robin when feeding cache simulation
  * so results are deterministic.
@@ -18,7 +24,9 @@
 #ifndef RODINIA_TRACE_TRACE_HH
 #define RODINIA_TRACE_TRACE_HH
 
+#include <algorithm>
 #include <barrier>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -28,16 +36,10 @@
 #include <unordered_set>
 #include <vector>
 
+#include "trace/stream.hh"
+
 namespace rodinia {
 namespace trace {
-
-/** One recorded memory access. */
-struct MemEvent
-{
-    uint64_t addr;
-    uint16_t size;
-    uint8_t isWrite;
-};
 
 /** Dynamic instruction-mix counters (Bienia et al.'s categories). */
 struct InstrMix
@@ -93,8 +95,7 @@ class ThreadCtx
         mix.loads++;
         touchSite(loc);
         if (recording)
-            memTrace.push_back({uint64_t(uintptr_t(a)),
-                                uint16_t(size), 0});
+            record(uint64_t(uintptr_t(a)), size, 0);
     }
 
     /** Record a store of `size` bytes at `a`. */
@@ -105,8 +106,7 @@ class ThreadCtx
         mix.stores++;
         touchSite(loc);
         if (recording)
-            memTrace.push_back({uint64_t(uintptr_t(a)),
-                                uint16_t(size), 1});
+            record(uint64_t(uintptr_t(a)), size, 1);
     }
 
     /** Load through the instrumentation: returns *p and records. */
@@ -181,10 +181,47 @@ class ThreadCtx
     void barrier();
 
     const InstrMix &instrMix() const { return mix; }
-    const std::vector<MemEvent> &events() const { return memTrace; }
+
+    /** This thread's recorded memory trace (line-granular events). */
+    const EventStream &stream() const { return memTrace; }
+
+    /** Recorded events after line splitting. */
+    uint64_t eventCount() const { return memTrace.size(); }
+
+    /** Materialize the trace (tests / small traces only). */
+    std::vector<MemEvent> eventsCopy() const { return memTrace.decodeAll(); }
+
     const std::unordered_set<uint64_t> &sites() const { return siteSet; }
 
   private:
+    /**
+     * Append one access, split at 64 B line boundaries so every
+     * stored event covers exactly one line. This makes the uint16_t
+     * size field exact by construction — a >64 KiB access used to
+     * wrap it silently, corrupting footprint and cache statistics —
+     * and lets normalizeAddresses remap each line independently
+     * without a second splitting pass.
+     */
+    void
+    record(uint64_t addr, size_t size, uint8_t isWrite)
+    {
+        if (size == 0) {
+            memTrace.append(addr, 0, isWrite);
+            return;
+        }
+        uint64_t end = addr + size;
+        if ((addr >> 6) == ((end - 1) >> 6)) { // common: one line
+            memTrace.append(addr, uint16_t(size), isWrite);
+            return;
+        }
+        while (addr < end) {
+            uint64_t piece = std::min(end, (addr | 63) + 1) - addr;
+            assert(piece <= 64 && "line split produced oversize piece");
+            memTrace.append(addr, uint16_t(piece), isWrite);
+            addr += piece;
+        }
+    }
+
     void
     touchSite(const std::source_location &loc)
     {
@@ -209,7 +246,7 @@ class ThreadCtx
     int threadId;
     bool recording;
     InstrMix mix;
-    std::vector<MemEvent> memTrace;
+    EventStream memTrace;
     std::unordered_set<uint64_t> siteSet;
     std::unordered_map<uint64_t, uint64_t> regionMap;
     const char *lastSiteFile = nullptr;
@@ -273,23 +310,42 @@ class TraceSession
      * execution when replaying into a cache simulator). Templated so
      * replay loops inline the visitor instead of paying a
      * std::function dispatch per event.
+     *
+     * The live-cursor set is compacted in place as threads exhaust:
+     * a thread that runs out of events leaves the round-robin
+     * entirely instead of being rescanned every round, keeping the
+     * walk linear in total events even when per-thread trace lengths
+     * are wildly uneven (the old cursor-vector walk was
+     * O(threads × max events) at paper scale).
      */
     template <typename Fn>
     void
     forEachInterleaved(Fn &&fn) const
     {
-        std::vector<size_t> cursor(ctxs.size(), 0);
-        bool any = true;
-        while (any) {
-            any = false;
-            for (size_t t = 0; t < ctxs.size(); ++t) {
-                const auto &ev = ctxs[t]->events();
-                if (cursor[t] < ev.size()) {
-                    fn(int(t), ev[cursor[t]]);
-                    ++cursor[t];
-                    any = true;
+        struct Live
+        {
+            int tid;
+            EventStream::Cursor cur;
+            MemEvent ev;
+        };
+        std::vector<Live> live;
+        live.reserve(ctxs.size());
+        for (size_t t = 0; t < ctxs.size(); ++t) {
+            Live l{int(t), EventStream::Cursor(ctxs[t]->memTrace), {}};
+            if (l.cur.next(l.ev))
+                live.push_back(std::move(l));
+        }
+        while (!live.empty()) {
+            size_t w = 0;
+            for (size_t i = 0; i < live.size(); ++i) {
+                fn(live[i].tid, live[i].ev);
+                if (live[i].cur.next(live[i].ev)) {
+                    if (w != i)
+                        live[w] = std::move(live[i]);
+                    ++w;
                 }
             }
+            live.resize(w);
         }
     }
 
@@ -299,9 +355,8 @@ class TraceSession
      * construction, independent of where the heap happened to land
      * (ASLR, allocator phase):
      *
-     *  - events are first split at 64 B line boundaries, so each
-     *    event touches exactly one line (the cache simulators split
-     *    them anyway; pre-splitting makes every event relocatable);
+     *  - events are line-granular by construction (split at 64 B
+     *    boundaries at record time), so each event is relocatable;
      *  - each distinct 4 kB page is assigned a sequential virtual
      *    page on first touch in the deterministic interleaved order;
      *  - within each page, each distinct 64 B line is assigned a

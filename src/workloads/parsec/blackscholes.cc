@@ -17,6 +17,7 @@ const core::WorkloadInfo kInfo = {
     "Financial Analysis",
     "32768 options, 10 rounds",
     "Black-Scholes PDE closed-form portfolio pricing",
+    "65536 options, 20 rounds (simlarge)",
 };
 
 struct Option
@@ -78,6 +79,10 @@ Blackscholes::runCpu(trace::TraceSession &session, core::Scale scale)
       case core::Scale::Small:
         n = 8192;
         rounds = 2;
+        break;
+      case core::Scale::Paper:
+        n = 65536;
+        rounds = 20;
         break;
       default:
         n = 32768;

@@ -17,6 +17,7 @@ const core::WorkloadInfo kInfo = {
     "Computer Vision",
     "3 frames, 2048 particles",
     "Annealed particle filter tracking a pose against image evidence",
+    "4000 particles, 4 frames (simlarge)",
 };
 
 } // namespace
@@ -40,6 +41,10 @@ Bodytrack::runCpu(trace::TraceSession &session, core::Scale scale)
       case core::Scale::Small:
         particles = 1024;
         frames = 2;
+        break;
+      case core::Scale::Paper:
+        particles = 4000;
+        frames = 4;
         break;
       default:
         particles = 2048;

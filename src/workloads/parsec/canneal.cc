@@ -17,6 +17,7 @@ const core::WorkloadInfo kInfo = {
     "Engineering",
     "65536 netlist elements, 8192 swaps/thread",
     "Simulated-annealing routing-cost minimization of a netlist",
+    "262144 elements, 16384 swaps/thread",
 };
 
 } // namespace
@@ -39,6 +40,10 @@ Canneal::runCpu(trace::TraceSession &session, core::Scale scale)
       case core::Scale::Small:
         elements = 16384;
         swapsPerThread = 2048;
+        break;
+      case core::Scale::Paper:
+        elements = 262144;
+        swapsPerThread = 16384;
         break;
       default:
         elements = 65536;

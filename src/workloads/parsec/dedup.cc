@@ -21,6 +21,7 @@ const core::WorkloadInfo kInfo = {
     "Enterprise Storage",
     "1 MB stream, 4-stage pipeline",
     "Pipelined content-defined chunking, deduplication, compression",
+    "4 MiB stream",
 };
 
 struct Chunk
@@ -48,6 +49,9 @@ Dedup::runCpu(trace::TraceSession &session, core::Scale scale)
         break;
       case core::Scale::Small:
         bytes = 256 * 1024;
+        break;
+      case core::Scale::Paper:
+        bytes = 4 * 1024 * 1024;
         break;
       default:
         bytes = 1024 * 1024;

@@ -17,6 +17,7 @@ const core::WorkloadInfo kInfo = {
     "Animation",
     "8192 vertices, 4 timesteps",
     "Spring-mass deformable-face physics with semi-implicit Euler",
+    "32768 vertices, 4 steps",
 };
 
 } // namespace
@@ -39,6 +40,10 @@ Facesim::runCpu(trace::TraceSession &session, core::Scale scale)
       case core::Scale::Small:
         vertices = 4096;
         steps = 3;
+        break;
+      case core::Scale::Paper:
+        vertices = 32768;
+        steps = 4;
         break;
       default:
         vertices = 8192;

@@ -20,6 +20,7 @@ const core::WorkloadInfo kInfo = {
     "Similarity Search",
     "256 queries vs 8192-image index, 4-stage pipeline",
     "Pipelined content-based similarity search with LSH probing",
+    "32768 images, 256 queries",
 };
 
 constexpr int kDim = 64;
@@ -59,6 +60,10 @@ Ferret::runCpu(trace::TraceSession &session, core::Scale scale)
       case core::Scale::Small:
         dbSize = 4096;
         queries = 128;
+        break;
+      case core::Scale::Paper:
+        dbSize = 32768;
+        queries = 256;
         break;
       default:
         dbSize = 8192;

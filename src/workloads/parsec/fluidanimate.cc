@@ -17,6 +17,7 @@ const core::WorkloadInfo kInfo = {
     "Animation",
     "8192 particles, 2 frames",
     "Smoothed-particle-hydrodynamics fluid simulation",
+    "32768 particles, 3 frames",
 };
 
 } // namespace
@@ -39,6 +40,10 @@ Fluidanimate::runCpu(trace::TraceSession &session, core::Scale scale)
       case core::Scale::Small:
         particles = 4096;
         frames = 2;
+        break;
+      case core::Scale::Paper:
+        particles = 32768;
+        frames = 3;
         break;
       default:
         particles = 8192;

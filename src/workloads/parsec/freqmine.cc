@@ -17,6 +17,7 @@ const core::WorkloadInfo kInfo = {
     "Data Mining",
     "32768 transactions, 512 items",
     "Frequent-itemset mining with an FP-tree prefix structure",
+    "131072 transactions, 1024 items",
 };
 
 /** FP-tree node: child list threaded through sibling pointers. */
@@ -49,6 +50,10 @@ Freqmine::runCpu(trace::TraceSession &session, core::Scale scale)
       case core::Scale::Small:
         txns = 8192;
         items = 256;
+        break;
+      case core::Scale::Paper:
+        txns = 131072;
+        items = 1024;
         break;
       default:
         txns = 32768;

@@ -17,6 +17,7 @@ const core::WorkloadInfo kInfo = {
     "Visualization",
     "96x96 image, 32 spheres, shadows",
     "Whitted-style ray tracing of a procedural sphere scene",
+    "256x256 image, 64 spheres",
 };
 
 struct Sphere
@@ -61,6 +62,10 @@ Raytrace::runCpu(trace::TraceSession &session, core::Scale scale)
       case core::Scale::Small:
         dim = 64;
         numSpheres = 24;
+        break;
+      case core::Scale::Paper:
+        dim = 256;
+        numSpheres = 64;
         break;
       default:
         dim = 96;

@@ -17,6 +17,7 @@ const core::WorkloadInfo kInfo = {
     "Financial Analysis",
     "16 swaptions, 1024 paths each",
     "Monte-Carlo swaption pricing over simulated HJM rate paths",
+    "64 swaptions, 8192 paths (simlarge)",
 };
 
 } // namespace
@@ -40,6 +41,10 @@ Swaptions::runCpu(trace::TraceSession &session, core::Scale scale)
       case core::Scale::Small:
         numSwaptions = 8;
         paths = 512;
+        break;
+      case core::Scale::Paper:
+        numSwaptions = 64;
+        paths = 8192;
         break;
       default:
         numSwaptions = 16;

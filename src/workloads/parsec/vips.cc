@@ -17,6 +17,7 @@ const core::WorkloadInfo kInfo = {
     "Media Processing",
     "768x768 image, 3-stage transform pipeline",
     "Streaming image transformations: affine, convolve, levels",
+    "2048x2048 image",
 };
 
 } // namespace
@@ -37,6 +38,9 @@ Vips::runCpu(trace::TraceSession &session, core::Scale scale)
         break;
       case core::Scale::Small:
         dim = 384;
+        break;
+      case core::Scale::Paper:
+        dim = 2048;
         break;
       default:
         dim = 768;

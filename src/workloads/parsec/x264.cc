@@ -17,6 +17,7 @@ const core::WorkloadInfo kInfo = {
     "Media Processing",
     "3 frames, 128x224, +/-4 full search",
     "H.264-style full-search motion estimation over macroblocks",
+    "320x180 video, 8 frames",
 };
 
 constexpr int kMb = 16; //!< macroblock edge
@@ -44,6 +45,12 @@ X264::runCpu(trace::TraceSession &session, core::Scale scale)
         rows = 96;
         cols = 160;
         frames = 2;
+        range = 4;
+        break;
+      case core::Scale::Paper:
+        rows = 180;
+        cols = 320;
+        frames = 8;
         range = 4;
         break;
       default:

@@ -18,6 +18,7 @@ const core::WorkloadInfo kInfo = {
     "Pattern Recognition",
     "4096 input nodes",
     "One training pass of a two-layer perceptron",
+    "65536 input nodes (Table I)",
 };
 
 constexpr int kTile = 16;
@@ -63,6 +64,8 @@ BackProp::params(core::Scale scale)
         return {256, 16, 0.3f};
       case core::Scale::Small:
         return {1024, 16, 0.3f};
+      case core::Scale::Paper:
+        return {65536, 16, 0.3f};
       case core::Scale::Full:
       default:
         return {4096, 16, 0.3f};

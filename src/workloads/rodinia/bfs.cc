@@ -18,6 +18,7 @@ const core::WorkloadInfo kInfo = {
     "Graph Algorithms",
     "32768 nodes, avg degree 6",
     "Level-synchronous breadth-first traversal of a sparse graph",
+    "1048576 nodes, avg degree 6 (Table I)",
 };
 
 } // namespace
@@ -81,6 +82,8 @@ Bfs::params(core::Scale scale)
         return {2048, 6};
       case core::Scale::Small:
         return {8192, 6};
+      case core::Scale::Paper:
+        return {1048576, 6};
       case core::Scale::Full:
       default:
         return {32768, 6};

@@ -18,6 +18,7 @@ const core::WorkloadInfo kInfo = {
     "Fluid Dynamics",
     "16384 elements",
     "Unstructured-grid finite-volume Euler solver (Corrigan et al.)",
+    "97046-element mesh, 2 RK steps (Table I 97K)",
 };
 
 constexpr int kFaces = 4;
@@ -96,6 +97,8 @@ Cfd::params(core::Scale scale)
         return {1024, 1};
       case core::Scale::Small:
         return {4096, 2};
+      case core::Scale::Paper:
+        return {97046, 2};
       case core::Scale::Full:
       default:
         return {16384, 2};

@@ -18,6 +18,7 @@ const core::WorkloadInfo kInfo = {
     "Medical Imaging",
     "96x224 pixels/frame, 64 points",
     "Braided-parallel template tracking of heart-wall sample points",
+    "609x590 frames (Table I), 16 of 104 frames",
 };
 
 struct HwData
@@ -81,6 +82,8 @@ HeartWall::params(core::Scale scale)
         return {64, 128, 2, 16, 8, 16};
       case core::Scale::Small:
         return {96, 224, 2, 32, 8, 16};
+      case core::Scale::Paper:
+        return {609, 590, 16, 64, 8, 16};
       case core::Scale::Full:
       default:
         return {96, 224, 3, 64, 8, 16};

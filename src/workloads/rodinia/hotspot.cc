@@ -16,6 +16,7 @@ const core::WorkloadInfo kInfo = {
     "Physics Simulation",
     "256x256 data points",
     "Transient chip thermal simulation with a 5-point stencil",
+    "500x500 grid (Table I), 60 of 360 iterations",
 };
 
 constexpr int kBlock = 16;
@@ -65,6 +66,8 @@ HotSpot::params(core::Scale scale)
         return {64, 64, 2};
       case core::Scale::Small:
         return {128, 128, 2};
+      case core::Scale::Paper:
+        return {500, 500, 60};
       case core::Scale::Full:
       default:
         return {256, 256, 4};

@@ -18,6 +18,7 @@ const core::WorkloadInfo kInfo = {
     "Data Mining",
     "16384 points, 16 features, 5 clusters",
     "Distance-based iterative clustering of feature vectors",
+    "204800 points, 34 features (Table I), 1 iteration",
 };
 
 /** Deterministic clustered dataset: k Gaussian blobs in d dims. */
@@ -56,6 +57,8 @@ Kmeans::params(core::Scale scale)
         return {256, 8, 4, 2};
       case core::Scale::Small:
         return {1024, 16, 5, 2};
+      case core::Scale::Paper:
+        return {204800, 34, 5, 1};
       case core::Scale::Full:
       default:
         return {16384, 16, 5, 2};

@@ -18,6 +18,7 @@ const core::WorkloadInfo kInfo = {
     "Medical Imaging",
     "160x320 pixels/frame",
     "GICOV cell detection with circle sampling and dilation",
+    "219x640 frame (Table I)",
 };
 
 struct LcData
@@ -88,6 +89,8 @@ Leukocyte::params(core::Scale scale)
         return {40, 64, 8, 8};
       case core::Scale::Small:
         return {64, 128, 12, 8};
+      case core::Scale::Paper:
+        return {219, 640, 12, 8};
       case core::Scale::Full:
       default:
         return {160, 320, 12, 8};

@@ -16,6 +16,7 @@ const core::WorkloadInfo kInfo = {
     "Linear Algebra",
     "128x128 data points",
     "Blocked in-place LU factorization without pivoting",
+    "256x256 matrix (Table I)",
 };
 
 constexpr int kB = 16; //!< tile width
@@ -43,6 +44,8 @@ Lud::params(core::Scale scale)
         return {32};
       case core::Scale::Small:
         return {64};
+      case core::Scale::Paper:
+        return {256};
       case core::Scale::Full:
       default:
         return {128};

@@ -19,6 +19,7 @@ const core::WorkloadInfo kInfo = {
     "Bioinformatics",
     "16384 25-character queries vs 128k-base reference",
     "Suffix-tree query matching (MUMmerGPU, Schatz et al.)",
+    "50000 25-char queries (Table I), 1M-base reference",
 };
 
 } // namespace
@@ -170,6 +171,8 @@ Mummer::params(core::Scale scale)
         return {1024, 512, 25};
       case core::Scale::Small:
         return {4096, 2048, 25};
+      case core::Scale::Paper:
+        return {1048576, 50000, 25};
       case core::Scale::Full:
       default:
         return {131072, 16384, 25};

@@ -18,6 +18,7 @@ const core::WorkloadInfo kInfo = {
     "Bioinformatics",
     "256x256 data points",
     "Global DNA sequence alignment via wavefront dynamic programming",
+    "2048x2048 sequences (Table I)",
 };
 
 constexpr int kBlock = 16;
@@ -80,6 +81,8 @@ NeedlemanWunsch::params(core::Scale scale)
         return {64, 10};
       case core::Scale::Small:
         return {128, 10};
+      case core::Scale::Paper:
+        return {2048, 10};
       case core::Scale::Full:
       default:
         return {256, 10};

@@ -18,6 +18,7 @@ const core::WorkloadInfo kInfo = {
     "Image Processing",
     "256x256 data points",
     "Speckle-reducing anisotropic diffusion on ultrasound imagery",
+    "502x458 image (Table I)",
 };
 
 constexpr int kBlock = 16;
@@ -68,6 +69,8 @@ Srad::params(core::Scale scale)
         return {64, 64, 1, 0.5f};
       case core::Scale::Small:
         return {128, 128, 2, 0.5f};
+      case core::Scale::Paper:
+        return {502, 458, 2, 0.5f};
       case core::Scale::Full:
       default:
         return {256, 256, 2, 0.5f};

@@ -16,6 +16,7 @@ const core::WorkloadInfo kInfo = {
     "Data Mining",
     "8192 points, 32 dimensions, 6 candidates",
     "Online k-median clustering: pgain candidate-center evaluation",
+    "65536 points (Table I), 64 of 256 dimensions",
 };
 
 struct ScData
@@ -64,6 +65,8 @@ StreamCluster::params(core::Scale scale)
         return {512, 16, 4};
       case core::Scale::Small:
         return {2048, 32, 4};
+      case core::Scale::Paper:
+        return {65536, 64, 6};
       case core::Scale::Full:
       default:
         return {8192, 32, 6};

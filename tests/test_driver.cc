@@ -618,7 +618,7 @@ syntheticRecording(int blocks, int block_dim, int events_per_lane)
                     ev.addr = uint64_t(b * block_dim + l) * 4 +
                               uint64_t(e) * 8192;
                 }
-                lane.push_back(ev);
+                lane.append(ev);
             }
         }
     }

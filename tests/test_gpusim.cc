@@ -124,8 +124,8 @@ TEST(Recorder, AluEventsMerge)
         for (int i = 0; i < 100; ++i)
             ctx.fp(1); // same site, same key: must merge
     });
-    EXPECT_EQ(rec.blocks[0].lanes[0].size(), 1u);
-    EXPECT_EQ(rec.blocks[0].lanes[0][0].count, 100u);
+    ASSERT_EQ(rec.blocks[0].lanes[0].size(), 1u);
+    EXPECT_EQ(rec.blocks[0].lanes[0].decodeAll()[0].count, 100u);
 }
 
 TEST(Replay, UniformKernelFullyOccupied)

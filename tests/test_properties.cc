@@ -140,9 +140,10 @@ TEST_P(WorkloadProperties, MixIsConsistent)
     trace::TraceSession s(4, true);
     w->runCpu(s, Scale::Tiny);
     auto mix = s.totalMix();
-    // Recorded memory events match the counted references (each
-    // counted reference records exactly one event when recording).
-    EXPECT_EQ(s.totalEvents(), mix.memRefs());
+    // Recorded memory events cover every counted reference; an
+    // access that straddles a 64 B line is split into multiple
+    // events at record time, so events can exceed references.
+    EXPECT_GE(s.totalEvents(), mix.memRefs());
     EXPECT_GT(mix.branches + mix.intOps + mix.fpOps, 0u);
 }
 

@@ -44,7 +44,7 @@ TEST(Trace, RecordsEventsPerThread)
             ctx.load(&buf[i], 4);
     });
     for (int t = 0; t < 4; ++t)
-        EXPECT_EQ(s.contexts()[t]->events().size(), size_t(t + 1));
+        EXPECT_EQ(s.contexts()[t]->eventCount(), uint64_t(t + 1));
     EXPECT_EQ(s.totalEvents(), 1u + 2 + 3 + 4);
 }
 
@@ -164,7 +164,7 @@ TEST(Trace, NormalizeSplitsLineStraddlingEvents)
     uint8_t *p = reinterpret_cast<uint8_t *>(boundary - 4);
     s.run([&](ThreadCtx &ctx) { ctx.load(p, 12); });
     s.normalizeAddresses();
-    const auto &ev = s.contexts()[0]->events();
+    const auto ev = s.contexts()[0]->eventsCopy();
     ASSERT_EQ(ev.size(), 2u);
     EXPECT_EQ(ev[0].size + ev[1].size, 12u);
     // Each piece now covers exactly one line.
@@ -184,7 +184,7 @@ TEST(Trace, NormalizeAssignsFirstTouchSequentialPages)
         ctx.load(&buf[2 * 4096 + 8], 4); // same line as the first
     });
     s.normalizeAddresses();
-    const auto &ev = s.contexts()[0]->events();
+    const auto ev = s.contexts()[0]->eventsCopy();
     ASSERT_EQ(ev.size(), 4u);
     // Pages are renumbered in first-touch order...
     EXPECT_EQ(ev[1].addr >> 12, (ev[0].addr >> 12) + 1);
@@ -232,13 +232,27 @@ TEST(Trace, NormalizeCanonicalizesAcrossAllocations)
     EXPECT_TRUE(canonEvents(a) == canonEvents(b));
 }
 
-TEST(Trace, WideAccessRecordsSize)
+TEST(Trace, WideAccessSplitsIntoLinesPreservingFootprint)
 {
     TraceSession s(1);
     std::vector<float> buf(64);
     s.run([&](ThreadCtx &ctx) { ctx.load(buf.data(), 256); });
-    const auto &ev = s.contexts()[0]->events();
-    ASSERT_EQ(ev.size(), 1u);
-    EXPECT_EQ(ev[0].size, 256u);
-    EXPECT_EQ(ev[0].isWrite, 0u);
+    const auto ev = s.contexts()[0]->eventsCopy();
+    // Record-time 64 B line splitting: the 256-byte load becomes 4
+    // or 5 pieces (depending on alignment) that tile the original
+    // range exactly, each confined to one line.
+    ASSERT_GE(ev.size(), 4u);
+    ASSERT_LE(ev.size(), 5u);
+    uint64_t total = 0;
+    uint64_t next = ev[0].addr;
+    for (const auto &e : ev) {
+        EXPECT_EQ(e.addr, next);
+        EXPECT_LE(e.size, 64u);
+        EXPECT_EQ(e.addr >> 6, (e.addr + e.size - 1) >> 6);
+        EXPECT_EQ(e.isWrite, 0u);
+        total += e.size;
+        next = e.addr + e.size;
+    }
+    EXPECT_EQ(total, 256u);
+    EXPECT_EQ(ev[0].addr, uint64_t(uintptr_t(buf.data())));
 }

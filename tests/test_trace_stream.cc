@@ -1,0 +1,465 @@
+/**
+ * @file
+ * Regression tests for the streaming trace representations: the
+ * CPU-side delta-encoded columnar EventStream (trace/stream.hh), the
+ * GPU-side LaneStream (gpusim/types.hh), record-time line splitting
+ * of oversized accesses, the packPc line-overflow fold, interleaved
+ * replay order, and spill-to-sink round-trips. Each compact
+ * representation must be event-for-event identical to the
+ * materialized (oracle) representation for arbitrary inputs — that
+ * equivalence is what lets the golden corpus pin paper figures while
+ * traces stream through a bounded ring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <source_location>
+#include <vector>
+
+#include "driver/context.hh"
+#include "driver/result_store.hh"
+#include "gpusim/types.hh"
+#include "support/rng.hh"
+#include "support/tracemode.hh"
+#include "trace/stream.hh"
+#include "trace/trace.hh"
+
+using namespace rodinia;
+using namespace rodinia::trace;
+
+namespace {
+
+/** In-memory spill sink; counts round-trips for the tests. */
+class MapSink : public ChunkSink
+{
+  public:
+    void
+    put(uint64_t key, const std::string &blob) override
+    {
+        chunks[key] = blob;
+        ++puts;
+    }
+
+    bool
+    get(uint64_t key, std::string &blob) override
+    {
+        auto it = chunks.find(key);
+        if (it == chunks.end())
+            return false;
+        blob = it->second;
+        ++gets;
+        return true;
+    }
+
+    std::map<uint64_t, std::string> chunks;
+    int puts = 0;
+    int gets = 0;
+};
+
+/** RAII: install a spill sink, restore the previous one on exit. */
+class SpillGuard
+{
+  public:
+    SpillGuard(ChunkSink *sink, uint32_t resident)
+        : prevResident(traceSpillResidentChunks()),
+          prev(setTraceSpill(sink, resident))
+    {
+    }
+    ~SpillGuard() { setTraceSpill(prev, prevResident); }
+
+  private:
+    uint32_t prevResident;
+    ChunkSink *prev;
+};
+
+std::vector<MemEvent>
+randomEvents(uint64_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<MemEvent> out;
+    out.reserve(size_t(n));
+    uint64_t addr = 0x7f0000000000ull;
+    for (uint64_t i = 0; i < n; ++i) {
+        // Mix of strided walks and far jumps: exercises small
+        // positive, negative, and multi-byte zigzag deltas.
+        if (rng.chance(0.8))
+            addr += 64 * (1 + rng.below(4));
+        else
+            addr = 0x7f0000000000ull + rng.below(1ull << 40);
+        MemEvent e;
+        e.addr = addr;
+        e.size = uint16_t(1 + rng.below(64));
+        e.isWrite = rng.chance(0.3) ? 1 : 0;
+        out.push_back(e);
+    }
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// EventStream: compact encoding vs materialized oracle
+// ---------------------------------------------------------------
+
+TEST(EventStream, CompactDecodesIdenticalToMaterialized)
+{
+    // 3.5 chunks worth of events: covers sealed chunks, the open
+    // tail, and the partial flag byte at a non-multiple-of-8 count.
+    auto events = randomEvents(3 * EventStream::kChunkEvents + 1837,
+                               0xE5E1);
+    EventStream compact(false);
+    EventStream oracle(true);
+    for (const auto &e : events) {
+        compact.append(e.addr, e.size, e.isWrite);
+        oracle.append(e.addr, e.size, e.isWrite);
+    }
+    ASSERT_EQ(compact.size(), events.size());
+    ASSERT_EQ(oracle.size(), events.size());
+    // The compact form must be dramatically smaller — that is the
+    // point of streaming; a regression to per-event structs would
+    // pass equivalence but fail this.
+    EXPECT_LT(compact.encodedBytes(),
+              events.size() * sizeof(MemEvent) / 3);
+
+    auto dc = compact.decodeAll();
+    auto dm = oracle.decodeAll();
+    ASSERT_EQ(dc.size(), events.size());
+    for (size_t i = 0; i < events.size(); ++i) {
+        ASSERT_EQ(dc[i].addr, events[i].addr) << "event " << i;
+        ASSERT_EQ(dc[i].size, events[i].size) << "event " << i;
+        ASSERT_EQ(dc[i].isWrite, events[i].isWrite) << "event " << i;
+        ASSERT_EQ(dm[i].addr, events[i].addr) << "event " << i;
+        ASSERT_EQ(dm[i].size, events[i].size) << "event " << i;
+        ASSERT_EQ(dm[i].isWrite, events[i].isWrite) << "event " << i;
+    }
+}
+
+TEST(EventStream, IndependentCursorsDoNotInterfere)
+{
+    auto events = randomEvents(EventStream::kChunkEvents + 100, 7);
+    EventStream s(false);
+    for (const auto &e : events)
+        s.append(e.addr, e.size, e.isWrite);
+    EventStream::Cursor a(s), b(s);
+    MemEvent ea, eb;
+    // Advance a half way, then run b to completion, then finish a.
+    for (size_t i = 0; i < events.size() / 2; ++i)
+        ASSERT_TRUE(a.next(ea));
+    size_t nb = 0;
+    while (b.next(eb)) {
+        EXPECT_EQ(eb.addr, events[nb].addr);
+        ++nb;
+    }
+    EXPECT_EQ(nb, events.size());
+    size_t na = events.size() / 2;
+    while (a.next(ea)) {
+        EXPECT_EQ(ea.addr, events[na].addr);
+        ++na;
+    }
+    EXPECT_EQ(na, events.size());
+}
+
+TEST(EventStream, TransformRewritesAndStaysDecodable)
+{
+    auto events = randomEvents(2 * EventStream::kChunkEvents + 5, 11);
+    EventStream s(false);
+    for (const auto &e : events)
+        s.append(e.addr, e.size, e.isWrite);
+    s.transform([](MemEvent &e) { e.addr ^= 0xfff; });
+    auto out = s.decodeAll();
+    ASSERT_EQ(out.size(), events.size());
+    for (size_t i = 0; i < events.size(); ++i)
+        ASSERT_EQ(out[i].addr, events[i].addr ^ 0xfff) << i;
+}
+
+// ---------------------------------------------------------------
+// EventStream: spill-to-sink round-trip
+// ---------------------------------------------------------------
+
+TEST(EventStream, SpillsOldestChunksAndRefetchesOnDecode)
+{
+    MapSink sink;
+    SpillGuard guard(&sink, 1); // keep at most 1 sealed chunk resident
+
+    auto events = randomEvents(5 * EventStream::kChunkEvents, 0x5B1);
+    EventStream s(false);
+    for (const auto &e : events)
+        s.append(e.addr, e.size, e.isWrite);
+    // 5 sealed chunks, 1 resident: at least 3 must have spilled.
+    EXPECT_GE(s.spilledChunks(), 3u);
+    EXPECT_EQ(size_t(sink.puts), sink.chunks.size());
+
+    // Two full decodes: spilled chunks are refetched each time, and
+    // both passes see the identical event sequence.
+    for (int pass = 0; pass < 2; ++pass) {
+        auto out = s.decodeAll();
+        ASSERT_EQ(out.size(), events.size()) << "pass " << pass;
+        for (size_t i = 0; i < events.size(); ++i) {
+            ASSERT_EQ(out[i].addr, events[i].addr);
+            ASSERT_EQ(out[i].size, events[i].size);
+            ASSERT_EQ(out[i].isWrite, events[i].isWrite);
+        }
+    }
+    EXPECT_GE(sink.gets, 2 * 3);
+}
+
+TEST(EventStream, SpilledChunkKeysAreContentHashes)
+{
+    MapSink sink;
+    SpillGuard guard(&sink, 0);
+    // Two streams with identical content spill chunks with identical
+    // keys — the sink (and thus the ResultStore) dedupes them.
+    // Spilling runs when the next chunk starts, so with 3 sealed
+    // chunks + an open tail all three sealed chunks spill per stream.
+    auto events = randomEvents(3 * EventStream::kChunkEvents + 10, 42);
+    EventStream a(false), b(false);
+    for (const auto &e : events) {
+        a.append(e.addr, e.size, e.isWrite);
+        b.append(e.addr, e.size, e.isWrite);
+    }
+    EXPECT_EQ(a.spilledChunks(), 3u);
+    EXPECT_EQ(b.spilledChunks(), 3u);
+    // Identical chunks landed on the same keys: the map holds half.
+    EXPECT_EQ(sink.chunks.size(), size_t(a.spilledChunks()));
+    for (const auto &[key, blob] : sink.chunks)
+        EXPECT_EQ(key, chunkContentHash(blob));
+}
+
+TEST(ResultStoreChunkSink, SpilledChunksRoundTripThroughStore)
+{
+    // End-to-end: RODINIA_TRACE_SPILL_CHUNKS arms a Context-owned
+    // sink that spills trace chunks into the ResultStore; recording
+    // past the resident budget must spill, and decoding must read
+    // the bytes back from disk.
+    auto dir = std::filesystem::temp_directory_path() /
+               "rodinia_tracechunk_test";
+    std::filesystem::remove_all(dir);
+    setenv("RODINIA_TRACE_SPILL_CHUNKS", "1", 1);
+    {
+        driver::ResultStore store(dir, true);
+        driver::Context ctx(&store, nullptr);
+
+        auto events =
+            randomEvents(4 * EventStream::kChunkEvents, 0xD15C);
+        EventStream s(false);
+        for (const auto &e : events)
+            s.append(e.addr, e.size, e.isWrite);
+        EXPECT_GE(s.spilledChunks(), 2u);
+
+        auto out = s.decodeAll();
+        ASSERT_EQ(out.size(), events.size());
+        for (size_t i = 0; i < events.size(); ++i)
+            ASSERT_EQ(out[i].addr, events[i].addr) << i;
+    }
+    unsetenv("RODINIA_TRACE_SPILL_CHUNKS");
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------
+// Record-time line splitting (the uint16_t truncation fix)
+// ---------------------------------------------------------------
+
+TEST(ThreadCtx, OversizedAccessSplitsWithoutTruncation)
+{
+    // A 200000-byte access does not fit the old uint16_t event size;
+    // it used to truncate silently (200000 & 0xffff = 3392 — a 98%
+    // footprint loss). Record-time splitting now tiles it into
+    // line-sized pieces whose sizes sum exactly.
+    const size_t big = 200000;
+    std::vector<uint8_t> buf(big);
+    TraceSession s(1);
+    s.run([&](ThreadCtx &ctx) { ctx.store(buf.data(), big); });
+    uint64_t total = 0;
+    uint64_t events = 0;
+    uint64_t prevEnd = 0;
+    s.contexts()[0]->stream().forEach([&](const MemEvent &e) {
+        EXPECT_LE(e.size, 64u);
+        EXPECT_EQ(e.addr >> 6, (e.addr + e.size - 1) >> 6)
+            << "piece straddles a line";
+        if (events) {
+            EXPECT_EQ(e.addr, prevEnd) << "pieces must tile";
+        }
+        prevEnd = e.addr + e.size;
+        total += e.size;
+        ++events;
+        EXPECT_EQ(e.isWrite, 1u);
+    });
+    EXPECT_EQ(total, big);
+    EXPECT_GE(events, big / 64);
+    // The footprint the figures consume sees every page of the
+    // original access.
+    EXPECT_GE(s.dataFootprintPages(), (big / 4096) - 1);
+}
+
+// ---------------------------------------------------------------
+// packPc: line-overflow folding (the clamp-aliasing fix)
+// ---------------------------------------------------------------
+
+// #line gives these call sites source lines past the 10-bit packPc
+// field, exactly like instrumentation sites deep in a large file.
+// Keep the three statements textually identical so the column
+// component cancels out of the comparison.
+// clang-format off
+#line 1500
+static const uint16_t kPcLine1500 = gpusim::packPc(std::source_location::current());
+#line 2500
+static const uint16_t kPcLine2500 = gpusim::packPc(std::source_location::current());
+#line 100
+static const uint16_t kPcLine100 = gpusim::packPc(std::source_location::current());
+#line 272
+// clang-format on
+
+TEST(PackPc, LinesPastFieldWidthFoldInsteadOfColliding)
+{
+    // The old clamp mapped every line > 1023 to 1023, so these two
+    // sites shared one PC and the replayer merged their order keys.
+    EXPECT_NE(kPcLine1500, kPcLine2500);
+    // Folding is a no-op for in-range lines: bits 6..15 hold the
+    // line verbatim, so existing recordings hash identically.
+    EXPECT_EQ(uint32_t(kPcLine100) >> 6, 100u);
+    EXPECT_EQ(uint32_t(kPcLine1500) >> 6,
+              (1500u ^ (1500u >> 10)) & 1023u);
+}
+
+// ---------------------------------------------------------------
+// LaneStream: compact encoding vs materialized oracle
+// ---------------------------------------------------------------
+
+TEST(LaneStream, CompactDecodesIdenticalToMaterialized)
+{
+    Rng rng(0x6A9E);
+    std::vector<gpusim::GEvent> events;
+    uint64_t addr = 0x10000000;
+    for (int i = 0; i < 20000; ++i) {
+        gpusim::GEvent e;
+        // Keys move in the high bits (PC at 48-63) like real
+        // recordings, plus occasional full-width jumps.
+        e.key.hi = (uint64_t(1 + rng.below(1023)) << 48) |
+                   (rng.chance(0.1) ? rng.below(1ull << 48) : 0);
+        e.key.lo = rng.chance(0.2) ? rng.below(~0ull) : 0;
+        e.op = gpusim::GOp(rng.below(6));
+        if (e.op == gpusim::GOp::Load ||
+            e.op == gpusim::GOp::Store) {
+            e.space = gpusim::Space(1 + rng.below(6));
+            addr += rng.chance(0.5) ? 4 : (0ull - 64);
+            e.addr = addr;
+            e.size = uint32_t(1 + rng.below(16));
+        }
+        if (rng.chance(0.1))
+            e.count = uint32_t(1 + rng.below(1000));
+        events.push_back(e);
+    }
+
+    gpusim::LaneStream compact(false), oracle(true);
+    for (const auto &e : events) {
+        compact.append(e);
+        oracle.append(e);
+    }
+    EXPECT_LT(compact.encodedBytes(), oracle.encodedBytes() / 3);
+
+    auto dc = compact.decodeAll();
+    auto dm = oracle.decodeAll();
+    ASSERT_EQ(dc.size(), events.size());
+    ASSERT_EQ(dm.size(), events.size());
+    for (size_t i = 0; i < events.size(); ++i) {
+        ASSERT_TRUE(dc[i].key == events[i].key) << "event " << i;
+        ASSERT_EQ(dc[i].addr, events[i].addr) << "event " << i;
+        ASSERT_EQ(dc[i].size, events[i].size) << "event " << i;
+        ASSERT_EQ(dc[i].count, events[i].count) << "event " << i;
+        ASSERT_EQ(int(dc[i].op), int(events[i].op)) << "event " << i;
+        ASSERT_EQ(int(dc[i].space), int(events[i].space))
+            << "event " << i;
+        ASSERT_TRUE(dm[i].key == events[i].key) << "event " << i;
+        ASSERT_EQ(dm[i].addr, events[i].addr) << "event " << i;
+    }
+}
+
+TEST(LaneStream, ZeroAddrSizeEventRoundTrips)
+{
+    // addr == 0 && size == 0 drops the address column (hasAddr bit);
+    // a Load with a real zero address but nonzero size must still
+    // carry it.
+    gpusim::LaneStream s(false);
+    gpusim::GEvent a;
+    a.op = gpusim::GOp::Load;
+    a.space = gpusim::Space::Global;
+    a.addr = 0;
+    a.size = 4;
+    s.append(a);
+    gpusim::GEvent b; // pure ALU: no address
+    s.append(b);
+    auto out = s.decodeAll();
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].addr, 0u);
+    EXPECT_EQ(out[0].size, 4u);
+    EXPECT_EQ(out[1].addr, 0u);
+    EXPECT_EQ(out[1].size, 0u);
+}
+
+// ---------------------------------------------------------------
+// Interleaved replay order (the live-cursor compaction rewrite)
+// ---------------------------------------------------------------
+
+TEST(TraceSession, InterleaveMatchesRoundRobinReference)
+{
+    // Ragged thread lengths with one thread crossing a chunk
+    // boundary: the compacted live-set walk must still produce the
+    // exact round-robin-with-dropout order of the reference.
+    const int nt = 5;
+    std::vector<size_t> lens = {3, 0, EventStream::kChunkEvents + 7,
+                                1, 250};
+    TraceSession s(nt);
+    std::vector<uint8_t> buf(1 << 16);
+    s.run([&](ThreadCtx &ctx) {
+        for (size_t i = 0; i < lens[size_t(ctx.tid())]; ++i)
+            ctx.load(&buf[(size_t(ctx.tid()) * 8191 + i * 7) %
+                          (buf.size() - 8)],
+                     4);
+    });
+
+    // Reference: per-thread copies walked round-robin.
+    std::vector<std::vector<MemEvent>> per;
+    for (int t = 0; t < nt; ++t)
+        per.push_back(s.contexts()[size_t(t)]->eventsCopy());
+    std::vector<std::pair<int, uint64_t>> expected;
+    std::vector<size_t> idx(nt, 0);
+    bool any = true;
+    while (any) {
+        any = false;
+        for (int t = 0; t < nt; ++t) {
+            if (idx[size_t(t)] < per[size_t(t)].size()) {
+                expected.emplace_back(
+                    t, per[size_t(t)][idx[size_t(t)]++].addr);
+                any = true;
+            }
+        }
+    }
+
+    std::vector<std::pair<int, uint64_t>> got;
+    s.forEachInterleaved([&](int tid, const MemEvent &e) {
+        got.emplace_back(tid, e.addr);
+    });
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i].first, expected[i].first) << "slot " << i;
+        ASSERT_EQ(got[i].second, expected[i].second) << "slot " << i;
+    }
+}
+
+// ---------------------------------------------------------------
+// Oracle mode plumbing
+// ---------------------------------------------------------------
+
+TEST(TraceOracle, ModeSwitchesDefaultRepresentation)
+{
+    bool prev = support::setTraceOracleModeForTest(true);
+    EXPECT_TRUE(EventStream().materialized());
+    EXPECT_TRUE(gpusim::LaneStream().materialized());
+    support::setTraceOracleModeForTest(false);
+    EXPECT_FALSE(EventStream().materialized());
+    EXPECT_FALSE(gpusim::LaneStream().materialized());
+    support::setTraceOracleModeForTest(prev);
+}

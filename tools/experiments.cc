@@ -13,7 +13,7 @@
  * assembly.
  *
  * Usage:
- *   experiments [--figure <id>|all] [--jobs N] [--no-cache]
+ *   experiments [--figure <id>|all] [--scale S] [--jobs N] [--no-cache]
  *               [--cache-dir DIR] [--quiet] [--no-summary] [--list]
  *               [--stats] [--keep-going] [--deadline MS]
  *               [--trace FILE] [--metrics FILE]
@@ -59,6 +59,7 @@ namespace {
 struct Options
 {
     std::vector<std::string> figures; //!< empty = all
+    core::Scale scale = core::Scale::Full;
     int jobs = 0;                     //!< 0 = hardware concurrency
     bool cache = true;
     // --cache-dir overrides; RODINIA_CACHE_DIR matches the bench
@@ -85,6 +86,9 @@ usage(const char *argv0)
         "usage: %s [options]\n"
         "  --figure ID    figure to run (repeatable; comma lists ok;\n"
         "                 'all' or omitted = every figure; see --list)\n"
+        "  --scale S      problem-size tier for the primary figures:\n"
+        "                 tiny|small|full|paper (default full; paper\n"
+        "                 streams Table I-scale traces)\n"
         "  --jobs N       worker threads (default: hardware threads)\n"
         "  --no-cache     bypass the on-disk result store\n"
         "  --cache-dir D  result store directory (default bench_cache)\n"
@@ -131,6 +135,25 @@ parseArgs(int argc, char **argv, Options &opt)
             while (std::getline(ss, id, ','))
                 if (!id.empty())
                     opt.figures.push_back(id);
+        } else if (!std::strcmp(arg, "--scale")) {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            if (!std::strcmp(v, "tiny")) {
+                opt.scale = core::Scale::Tiny;
+            } else if (!std::strcmp(v, "small")) {
+                opt.scale = core::Scale::Small;
+            } else if (!std::strcmp(v, "full")) {
+                opt.scale = core::Scale::Full;
+            } else if (!std::strcmp(v, "paper")) {
+                opt.scale = core::Scale::Paper;
+            } else {
+                std::fprintf(stderr,
+                             "--scale: '%s' is not one of "
+                             "tiny|small|full|paper\n",
+                             v);
+                return false;
+            }
         } else if (!std::strcmp(arg, "--jobs")) {
             const char *v = value(i);
             if (!v)
@@ -257,6 +280,10 @@ main(int argc, char **argv)
     if (!parseArgs(argc, argv, opt))
         return 2;
 
+    // Before any allFigures() call: the figure table embeds the
+    // scale in its GPU dependency lists.
+    driver::setPrimaryScale(opt.scale);
+
     if (opt.list) {
         for (const auto &def : driver::allFigures())
             std::printf("%-18s %s\n", def.id.c_str(),
@@ -302,7 +329,7 @@ main(int argc, char **argv)
     if (needsAllCpu) {
         for (const auto &name : driver::allCpuWorkloads()) {
             cpuJobs.push_back(graph.add("cpu:" + name, [&ctx, name] {
-                ctx.cpu(name, core::Scale::Full);
+                ctx.cpu(name, driver::primaryScale());
             }));
         }
     }

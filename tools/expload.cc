@@ -100,7 +100,7 @@ usage(const char *argv0)
         "  --figure ID      figure for warm requests (default fig1)\n"
         "  --workload W     workload for cold sims (default "
         "backprop)\n"
-        "  --scale S        tiny|small|full for cold sims (default "
+        "  --scale S        tiny|small|full|paper for cold sims (default "
         "tiny)\n"
         "  --rate R         requests/sec per client (default: "
         "closed\n"
