@@ -1,5 +1,7 @@
 #include "gpusim/simconfig.hh"
 
+#include <atomic>
+#include <cstdlib>
 #include <sstream>
 
 #include "support/logging.hh"
@@ -86,7 +88,57 @@ SimConfig::check() const
                    ") must equal the 64 kB configurable SM memory");
     if (l2Enabled && l2Bytes == 0)
         return msg("SimConfig: l2Enabled with zero l2Bytes");
+    if (simThreads < 0)
+        return msg("SimConfig: simThreads (", simThreads,
+                   ") must be non-negative (0 = process default)");
     return "";
+}
+
+namespace {
+
+int
+clampThreads(int n)
+{
+    return n < 1 ? 1 : (n > 256 ? 256 : n);
+}
+
+std::atomic<int> &
+defaultSimThreadsSlot()
+{
+    static std::atomic<int> slot = [] {
+        const char *env = std::getenv("RODINIA_SIM_THREADS");
+        int n = env && *env ? std::atoi(env) : 1;
+        return clampThreads(n);
+    }();
+    return slot;
+}
+
+} // namespace
+
+int
+SimConfig::defaultSimThreads()
+{
+    return defaultSimThreadsSlot().load(std::memory_order_relaxed);
+}
+
+void
+SimConfig::setDefaultSimThreads(int n)
+{
+    defaultSimThreadsSlot().store(clampThreads(n),
+                                  std::memory_order_relaxed);
+}
+
+int
+SimConfig::effectiveSimThreads() const
+{
+    static const bool forceSerial = [] {
+        const char *env = std::getenv("RODINIA_SIM_SERIAL");
+        return env && *env && *env != '0';
+    }();
+    if (forceSerial)
+        return 1;
+    return clampThreads(simThreads == 0 ? defaultSimThreads()
+                                        : simThreads);
 }
 
 void
@@ -99,9 +151,12 @@ SimConfig::validate() const
 std::string
 SimConfig::fingerprint() const
 {
-    // Stable key=value list covering EVERY field; ints and bools
-    // print exactly, clocks are scaled to integral MHz (every preset
-    // and sweep uses whole MHz) so no float formatting is involved.
+    // Stable key=value list covering EVERY architectural field; ints
+    // and bools print exactly, clocks are scaled to integral MHz
+    // (every preset and sweep uses whole MHz) so no float formatting
+    // is involved. simThreads is a runtime option, not architecture:
+    // the parallel engine is bit-identical to serial, so including it
+    // would only split the store key space for equal results.
     std::ostringstream os;
     os << "sms=" << numSms << ";warp=" << warpSize
        << ";simd=" << simdWidth << ";thr=" << maxThreadsPerSm

@@ -1,18 +1,26 @@
 #include "gpusim/timing.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
 #include <deque>
 #include <iomanip>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "gpusim/replay.hh"
 #include "gpusim/simplecache.hh"
 #include "support/cancel.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/threadbudget.hh"
 
 namespace rodinia {
 namespace gpusim {
@@ -112,7 +120,110 @@ parseKernelStats(const std::string &payload, KernelStats &out)
     return bool(in);
 }
 
+std::string
+formatDeadlockDiagnostics(uint64_t cycle, size_t next_block,
+                          size_t total_blocks, size_t blocks_remaining,
+                          const std::vector<SmSnapshot> &sms)
+{
+    std::ostringstream os;
+    os << "gpusim deadlock: no runnable warps at cycle " << cycle
+       << " with " << blocks_remaining << " of " << total_blocks
+       << " blocks unfinished (next block to place: " << next_block
+       << " of " << total_blocks << ")";
+    for (size_t s = 0; s < sms.size(); ++s) {
+        const SmSnapshot &sm = sms[s];
+        os << "\n  sm" << s << ": ready=" << sm.readyWarps
+           << " waiting=" << sm.waitingWarps
+           << " ctas=" << sm.residentCtas
+           << " freeCycle=" << sm.freeCycle << " next=";
+        if (sm.nextBound == ~0ULL)
+            os << "idle";
+        else
+            os << sm.nextBound;
+    }
+    return os.str();
+}
+
 namespace {
+
+/** setSimEpochForTest's cap; 0 = use epochCyclesFor unmodified. */
+std::atomic<uint64_t> epochCapForTest{0};
+
+} // namespace
+
+uint64_t
+epochCyclesFor(const SimConfig &cfg)
+{
+    // The shortest path through shared state: an L2 hit, or a DRAM
+    // transaction that starts on an idle channel. Any request issued
+    // at cycle c therefore completes at or after c + E, i.e. never
+    // before the next epoch boundary — which is exactly what lets the
+    // parallel engine defer all shared-state arbitration to the
+    // boundary without changing any warp's wake cycle.
+    uint64_t dram = uint64_t(cfg.channelServiceCycles()) +
+                    uint64_t(cfg.gmemLatencyCycles > 0
+                                 ? cfg.gmemLatencyCycles
+                                 : 0);
+    uint64_t e = dram;
+    if (cfg.l2Enabled && uint64_t(cfg.l2HitLatency) < e)
+        e = uint64_t(cfg.l2HitLatency);
+    return e > 0 ? e : 1;
+}
+
+void
+setSimEpochForTest(uint64_t cycles)
+{
+    epochCapForTest.store(cycles, std::memory_order_relaxed);
+}
+
+namespace {
+
+constexpr uint64_t kIdle = ~0ULL;
+
+/** RODINIA_STRICT as a runtime switch (unset or "0" = off). Read
+ *  uncached on the cold oversubscription path so death tests and
+ *  child processes see the current environment. */
+bool
+strictChecksEnabled()
+{
+    const char *v = std::getenv("RODINIA_STRICT");
+    return v && *v && !(v[0] == '0' && v[1] == '\0');
+}
+
+/**
+ * Why this block can never satisfy canFit's steady-state bounds on
+ * an *empty* SM — i.e. its standalone demand exceeds the SM's total
+ * capacity — or nullptr if it fits. Such a CTA is only ever admitted
+ * through the "always allow one CTA" deadlock-avoidance hatch, and
+ * silently simulating it understates contention, so both engines
+ * count it and optionally fail fast.
+ */
+const char *
+ctaOverloadReason(const SimConfig &cfg, const BlockRecord &block)
+{
+    if (block.blockDim > cfg.maxThreadsPerSm)
+        return "blockDim exceeds maxThreadsPerSm";
+    if (block.sharedBytes > cfg.sharedMemPerSm)
+        return "sharedBytes exceeds sharedMemPerSm";
+    if (block.blockDim * cfg.regsPerThread > cfg.regFileSize)
+        return "register demand exceeds regFileSize";
+    return nullptr;
+}
+
+void
+noteOversubscribedCta(const SimConfig &cfg, const BlockRecord &block,
+                      size_t sm_index, const char *why)
+{
+    support::metrics::count("gpusim.oversubscribed_cta");
+    if (strictChecksEnabled())
+        panic("gpusim: oversubscribed CTA admitted on sm", sm_index,
+              " (", why, "): blockDim=", block.blockDim,
+              " sharedBytes=", block.sharedBytes,
+              " regDemand=", block.blockDim * cfg.regsPerThread,
+              " vs maxThreadsPerSm=", cfg.maxThreadsPerSm,
+              " sharedMemPerSm=", cfg.sharedMemPerSm,
+              " regFileSize=", cfg.regFileSize);
+}
 
 struct Cta;
 
@@ -173,7 +284,96 @@ struct Sm
     std::unique_ptr<SimpleCache> cst;
 };
 
-/** Single-launch simulation engine. */
+/** Distinct coalesced segment addresses of a memory warp inst. */
+void
+coalesceSegs(int coal_shift, const WarpInst &inst,
+             std::vector<uint64_t> &out)
+{
+    // coalesceBytes is validated power-of-two, so segment math is
+    // shifts rather than 64-bit division on this per-memory-
+    // instruction path.
+    out.clear();
+    for (int l = 0; l < 32; ++l) {
+        if (!(inst.activeMask & (1u << l)))
+            continue;
+        uint64_t first = inst.addrs[size_t(l)] >> coal_shift;
+        uint64_t last =
+            (inst.addrs[size_t(l)] + std::max(inst.size, 1u) - 1) >>
+            coal_shift;
+        for (uint64_t s = first; s <= last; ++s) {
+            uint64_t seg = s << coal_shift;
+            if (std::find(out.begin(), out.end(), seg) == out.end())
+                out.push_back(seg);
+        }
+    }
+}
+
+/** Distinct constant-memory words touched by a warp inst. */
+void
+constWords(const WarpInst &inst, std::vector<uint64_t> &out)
+{
+    out.clear();
+    for (int l = 0; l < 32; ++l) {
+        if (!(inst.activeMask & (1u << l)))
+            continue;
+        uint64_t word = inst.addrs[size_t(l)] >> 2;
+        if (std::find(out.begin(), out.end(), word) == out.end())
+            out.push_back(word);
+    }
+}
+
+/** Shared-memory bank-conflict serialization factor. */
+int
+bankConflictFactorFor(const SimConfig &cfg, uint64_t bank_mask,
+                      const WarpInst &inst)
+{
+    if (!cfg.bankConflictsEnabled)
+        return 1;
+    // Words mapping to the same bank serialize; identical words
+    // broadcast. This runs once per shared-memory warp
+    // instruction — the hot path of NW/LUD/HS simulations — so
+    // it scans fixed stack arrays (at most 32 entries) instead
+    // of allocating per-bank containers, and divides only when
+    // the bank count is not a power of two.
+    uint64_t seenWord[32];
+    int seenBank[32];
+    int n = 0;
+    int factor = 1;
+    for (int l = 0; l < 32; ++l) {
+        if (!(inst.activeMask & (1u << l)))
+            continue;
+        uint64_t word = inst.addrs[size_t(l)] >> 2;
+        int bank = bank_mask ? int(word & bank_mask)
+                             : int(word % uint64_t(cfg.sharedBanks));
+        bool dup = false;
+        int multiplicity = 1;
+        for (int i = 0; i < n; ++i) {
+            if (seenWord[i] == word) {
+                dup = true; // broadcast: no extra cost
+                break;
+            }
+            if (seenBank[i] == bank)
+                ++multiplicity;
+        }
+        if (dup)
+            continue;
+        seenWord[n] = word;
+        seenBank[n] = bank;
+        ++n;
+        factor = std::max(factor, multiplicity);
+    }
+    return factor;
+}
+
+int
+channelOf(uint64_t addr, uint64_t chan_mask, int num_channels)
+{
+    return chan_mask ? int((addr >> 8) & chan_mask)
+                     : int((addr >> 8) % uint64_t(num_channels));
+}
+
+/** Single-launch serial simulation engine — the determinism oracle
+ *  the parallel engine below is tested against. */
 class Engine
 {
   public:
@@ -188,7 +388,7 @@ class Engine
         stats.numChannels = cfg.numChannels;
         stats.coreClockGhz = cfg.coreClockGhz;
 
-        sms.resize(cfg.numSms);
+        sms.resize(size_t(cfg.numSms));
         for (auto &sm : sms) {
             if (cfg.l1Enabled)
                 sm.l1 = std::make_unique<SimpleCache>(cfg.l1Bytes, 8,
@@ -200,7 +400,7 @@ class Engine
         if (cfg.l2Enabled)
             l2 = std::make_unique<SimpleCache>(cfg.l2Bytes, 16,
                                                cfg.l2LineBytes);
-        chFree.assign(cfg.numChannels, 0);
+        chFree.assign(size_t(cfg.numChannels), 0);
         bankMask = (cfg.sharedBanks & (cfg.sharedBanks - 1)) == 0
                        ? uint64_t(cfg.sharedBanks) - 1
                        : 0;
@@ -209,9 +409,9 @@ class Engine
                        : 0;
         coalShift = __builtin_ctz(unsigned(cfg.coalesceBytes));
 
-        blocksRemaining = int(rec.blocks.size());
-        for (int s = 0; s < cfg.numSms && nextBlock < rec.blocks.size();
-             ++s)
+        blocksRemaining = rec.blocks.size();
+        for (size_t s = 0;
+             s < sms.size() && nextBlock < rec.blocks.size(); ++s)
             placeBlocks(s, 0);
 
         // smNext[s] is a conservative lower bound on the next cycle
@@ -224,7 +424,7 @@ class Engine
         // the SM an issue runs on can gain work (barrier release and
         // block placement are SM-local), so recomputing the bound
         // after visiting that SM keeps it valid.
-        smNext.assign(size_t(cfg.numSms), 0);
+        smNext.assign(sms.size(), 0);
         uint64_t cycle = 0;
         uint64_t loops = 0;
         while (blocksRemaining > 0) {
@@ -235,8 +435,8 @@ class Engine
             if ((++loops & 0x3fff) == 0)
                 support::checkpointCancellation();
             bool issued = false;
-            for (int s = 0; s < cfg.numSms; ++s) {
-                if (smNext[size_t(s)] > cycle)
+            for (size_t s = 0; s < sms.size(); ++s) {
+                if (smNext[s] > cycle)
                     continue;
                 Sm &sm = sms[s];
                 while (!sm.waiting.empty() &&
@@ -252,13 +452,13 @@ class Engine
                     if (blocksRemaining == 0)
                         break;
                 }
-                smNext[size_t(s)] =
+                smNext[s] =
                     !sm.ready.empty()
                         ? std::max(sm.freeCycle, cycle + 1)
                         : (!sm.waiting.empty()
                                ? std::max(sm.waiting.top().wake,
                                           cycle + 1)
-                               : ~0ULL);
+                               : kIdle);
             }
             if (blocksRemaining == 0)
                 break;
@@ -267,12 +467,20 @@ class Engine
                 continue;
             }
             // Nothing issued: jump to the next interesting cycle.
-            uint64_t next = ~0ULL;
+            uint64_t next = kIdle;
             for (uint64_t lb : smNext)
                 next = std::min(next, std::max(cycle + 1, lb));
-            if (next == ~0ULL)
-                panic("gpusim deadlock: no runnable warps but ",
-                      blocksRemaining, " blocks remain");
+            if (next == kIdle) {
+                std::vector<SmSnapshot> snaps(sms.size());
+                for (size_t s = 0; s < sms.size(); ++s)
+                    snaps[s] = {sms[s].ready.size(),
+                                sms[s].waiting.size(),
+                                sms[s].usedCtas, sms[s].freeCycle,
+                                smNext[s]};
+                panic(formatDeadlockDiagnostics(
+                    cycle, nextBlock, rec.blocks.size(),
+                    blocksRemaining, snaps));
+            }
             cycle = next;
         }
 
@@ -294,18 +502,23 @@ class Engine
     }
 
     void
-    placeBlocks(int sm_index, uint64_t cycle)
+    placeBlocks(size_t sm_index, uint64_t cycle)
     {
         Sm &sm = sms[sm_index];
         while (nextBlock < rec.blocks.size() &&
                canFit(sm, rec.blocks[nextBlock])) {
             const BlockRecord &block = rec.blocks[nextBlock];
             ++nextBlock;
+            // Only the empty-SM hatch in canFit can admit a CTA whose
+            // standalone demand exceeds total SM capacity; flag it
+            // instead of silently under-modeling contention.
+            if (const char *why = ctaOverloadReason(cfg, block))
+                noteOversubscribedCta(cfg, block, sm_index, why);
 
             auto cta = std::make_unique<Cta>();
             cta->blockDim = block.blockDim;
             cta->sharedBytes = block.sharedBytes;
-            cta->smIndex = sm_index;
+            cta->smIndex = int(sm_index);
             int warps = warpsPerBlock(block.blockDim, cfg.warpSize);
             for (int wi = 0; wi < warps; ++wi) {
                 auto warp = std::make_unique<Warp>(
@@ -352,84 +565,18 @@ class Engine
             }
             ++stats.l2Misses;
         }
-        int ch = chanMask ? int((addr >> 8) & chanMask)
-                          : int((addr >> 8) % uint64_t(cfg.numChannels));
-        uint64_t svc = cfg.channelServiceCycles();
-        uint64_t start = std::max(cycle, chFree[ch]);
-        chFree[ch] = start + svc;
+        int ch = channelOf(addr, chanMask, cfg.numChannels);
+        uint64_t svc = uint64_t(cfg.channelServiceCycles());
+        uint64_t start = std::max(cycle, chFree[size_t(ch)]);
+        chFree[size_t(ch)] = start + svc;
         stats.channelBusyCycles += svc;
-        stats.dramBytes += cfg.coalesceBytes;
+        stats.dramBytes += uint64_t(cfg.coalesceBytes);
         ++stats.dramTransactions;
-        return start + svc + cfg.gmemLatencyCycles;
-    }
-
-    /** Distinct coalesced segment addresses of a memory warp inst. */
-    void
-    coalesce(const WarpInst &inst, std::vector<uint64_t> &out) const
-    {
-        // coalesceBytes is validated power-of-two, so segment math is
-        // shifts rather than 64-bit division on this per-memory-
-        // instruction path.
-        out.clear();
-        for (int l = 0; l < 32; ++l) {
-            if (!(inst.activeMask & (1u << l)))
-                continue;
-            uint64_t first = inst.addrs[l] >> coalShift;
-            uint64_t last =
-                (inst.addrs[l] + std::max(inst.size, 1u) - 1) >>
-                coalShift;
-            for (uint64_t s = first; s <= last; ++s) {
-                uint64_t seg = s << coalShift;
-                if (std::find(out.begin(), out.end(), seg) == out.end())
-                    out.push_back(seg);
-            }
-        }
-    }
-
-    /** Shared-memory bank-conflict serialization factor. */
-    int
-    bankConflictFactor(const WarpInst &inst) const
-    {
-        if (!cfg.bankConflictsEnabled)
-            return 1;
-        // Words mapping to the same bank serialize; identical words
-        // broadcast. This runs once per shared-memory warp
-        // instruction — the hot path of NW/LUD/HS simulations — so
-        // it scans fixed stack arrays (at most 32 entries) instead
-        // of allocating per-bank containers, and divides only when
-        // the bank count is not a power of two.
-        uint64_t seenWord[32];
-        int seenBank[32];
-        int n = 0;
-        int factor = 1;
-        for (int l = 0; l < 32; ++l) {
-            if (!(inst.activeMask & (1u << l)))
-                continue;
-            uint64_t word = inst.addrs[l] >> 2;
-            int bank = bankMask ? int(word & bankMask)
-                                : int(word % uint64_t(cfg.sharedBanks));
-            bool dup = false;
-            int multiplicity = 1;
-            for (int i = 0; i < n; ++i) {
-                if (seenWord[i] == word) {
-                    dup = true; // broadcast: no extra cost
-                    break;
-                }
-                if (seenBank[i] == bank)
-                    ++multiplicity;
-            }
-            if (dup)
-                continue;
-            seenWord[n] = word;
-            seenBank[n] = bank;
-            ++n;
-            factor = std::max(factor, multiplicity);
-        }
-        return factor;
+        return start + svc + uint64_t(cfg.gmemLatencyCycles);
     }
 
     void
-    finishWarp(int sm_index, Warp &w, uint64_t cycle)
+    finishWarp(size_t sm_index, Warp &w, uint64_t cycle)
     {
         Cta *cta = w.cta;
         --cta->aliveWarps;
@@ -451,7 +598,7 @@ class Engine
     }
 
     void
-    releaseBarrier(int sm_index, Cta &cta, uint64_t cycle)
+    releaseBarrier(size_t sm_index, Cta &cta, uint64_t cycle)
     {
         Sm &sm = sms[sm_index];
         for (Warp *waiter : cta.barrierWaiters)
@@ -461,7 +608,7 @@ class Engine
     }
 
     void
-    issue(int sm_index, Warp &w, uint64_t cycle)
+    issue(size_t sm_index, Warp &w, uint64_t cycle)
     {
         Sm &sm = sms[sm_index];
         // Reference, not copy (WarpInst carries 32 lane addresses):
@@ -474,20 +621,20 @@ class Engine
         // Commit statistics.
         stats.warpInstructions += inst.count;
         stats.threadInstructions += uint64_t(active) * inst.count;
-        int bucket = std::min((active - 1) / 8, 3);
+        size_t bucket = size_t(std::min((active - 1) / 8, 3));
         stats.occupancyBuckets[bucket] += inst.count;
 
         // Memory instructions carry implicit address-arithmetic
         // instructions: commit them and occupy the issue slot.
-        uint64_t issue_done = cycle + issueC;
+        uint64_t issue_done = cycle + uint64_t(issueC);
         if (inst.op == GOp::Load || inst.op == GOp::Store) {
-            stats.memOps[size_t(inst.space)] += active;
+            stats.memOps[size_t(inst.space)] += uint64_t(active);
             uint64_t extra = uint64_t(cfg.addressAluPerMem);
             if (extra) {
                 stats.warpInstructions += extra;
                 stats.threadInstructions += extra * uint64_t(active);
                 stats.occupancyBuckets[bucket] += extra;
-                issue_done = cycle + issueC * (1 + extra);
+                issue_done = cycle + uint64_t(issueC) * (1 + extra);
             }
         }
 
@@ -514,7 +661,7 @@ class Engine
                 if (cta->arrived == cta->aliveWarps)
                     releaseBarrier(sm_index, *cta, cycle);
             }
-            simEnd = std::max(simEnd, cycle + issueC);
+            simEnd = std::max(simEnd, cycle + uint64_t(issueC));
             return;
           }
 
@@ -522,28 +669,20 @@ class Engine
           case GOp::Store:
             switch (inst.space) {
               case Space::Shared: {
-                int factor = bankConflictFactor(inst);
+                int factor = bankConflictFactorFor(cfg, bankMask, inst);
                 sm.freeCycle = issue_done + uint64_t(issueC) *
-                                                (factor - 1);
+                                                uint64_t(factor - 1);
                 wake = sm.freeCycle;
                 stats.bankConflictExtraCycles +=
-                    uint64_t(issueC) * (factor - 1);
+                    uint64_t(issueC) * uint64_t(factor - 1);
                 break;
               }
               case Space::Param:
                 break; // register-speed, always hits
               case Space::Const: {
                 // Distinct words serialize on the constant cache.
-                scratch.clear();
-                for (int l = 0; l < 32; ++l) {
-                    if (!(inst.activeMask & (1u << l)))
-                        continue;
-                    uint64_t word = inst.addrs[l] >> 2;
-                    if (std::find(scratch.begin(), scratch.end(), word) ==
-                        scratch.end())
-                        scratch.push_back(word);
-                }
-                uint64_t done = issue_done + cfg.constHitLatency;
+                constWords(inst, scratch);
+                uint64_t done = issue_done + uint64_t(cfg.constHitLatency);
                 for (uint64_t word : scratch) {
                     if (sm.cst->access(word << 2)) {
                         ++stats.constHits;
@@ -562,8 +701,8 @@ class Engine
                 break;
               }
               case Space::Tex: {
-                coalesce(inst, scratch);
-                uint64_t done = issue_done + cfg.texHitLatency;
+                coalesceSegs(coalShift, inst, scratch);
+                uint64_t done = issue_done + uint64_t(cfg.texHitLatency);
                 for (uint64_t seg : scratch) {
                     if (sm.tex->access(seg)) {
                         ++stats.texHits;
@@ -579,7 +718,7 @@ class Engine
               case Space::Global:
               case Space::Local:
               default: {
-                coalesce(inst, scratch);
+                coalesceSegs(coalShift, inst, scratch);
                 if (inst.op == GOp::Load) {
                     uint64_t done = issue_done;
                     for (uint64_t seg : scratch)
@@ -639,16 +778,44 @@ class Engine
     uint64_t chanMask = 0; //!< numChannels-1 when a power of two
     int coalShift = 0;     //!< log2(coalesceBytes)
     size_t nextBlock = 0;
-    int blocksRemaining = 0;
+    size_t blocksRemaining = 0;
     uint64_t seq = 0;
     uint64_t simEnd = 0;
 };
 
 } // namespace
 
+} // namespace gpusim
+} // namespace rodinia
+
+#include "gpusim/timing_epoch.inc"
+
+namespace rodinia {
+namespace gpusim {
+
 KernelStats
 TimingSim::simulate(const KernelRecording &rec) const
 {
+    // The epoch engine needs at least two blocks to have any cross-SM
+    // work to overlap; single-block launches and explicit simThreads=1
+    // take the serial oracle path. The *structure* (epoch batching)
+    // is chosen by the requested thread count alone so --sim-threads N
+    // deterministically exercises the parallel engine; only the
+    // helper-pool *size* adapts to the process-wide thread budget.
+    int want = cfg.effectiveSimThreads();
+    if (want > 1 && rec.blocks.size() > 1 && cfg.numSms > 1) {
+        int target = std::min(want, cfg.numSms);
+        auto &budget = support::ThreadBudget::instance();
+        int granted = budget.tryAcquire(target - 1);
+        struct Release
+        {
+            support::ThreadBudget &b;
+            int n;
+            ~Release() { b.release(n); }
+        } release{budget, granted};
+        EpochEngine engine(cfg, rec, 1 + granted);
+        return engine.run();
+    }
     Engine engine(cfg, rec);
     return engine.run();
 }

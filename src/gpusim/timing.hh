@@ -22,6 +22,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "gpusim/recorder.hh"
 #include "gpusim/simconfig.hh"
@@ -97,6 +98,51 @@ std::string serializeKernelStats(const KernelStats &s);
  * @return false if the payload is malformed (treated as a miss)
  */
 bool parseKernelStats(const std::string &payload, KernelStats &out);
+
+/**
+ * Point-in-time view of one SM's scheduler state, captured for the
+ * deadlock diagnostic below. Plain data so tests can fabricate
+ * snapshots without driving a real engine into a wedged state.
+ */
+struct SmSnapshot
+{
+    size_t readyWarps = 0;   //!< warps in the issue queue
+    size_t waitingWarps = 0; //!< warps parked on wake cycles
+    int residentCtas = 0;    //!< CTAs currently placed on the SM
+    uint64_t freeCycle = 0;  //!< first cycle the SM may issue again
+    uint64_t nextBound = 0;  //!< scheduler's next-progress lower bound
+};
+
+/**
+ * Render the "no runnable warps but blocks remain" diagnostic: the
+ * wedged cycle, block-dispatch counters, and one line per SM with
+ * queue depths and scheduler bounds. A wedged paper-scale sim must
+ * be debuggable from this message alone, so it is a separate pure
+ * function with its own unit test rather than an inline panic string.
+ */
+std::string formatDeadlockDiagnostics(uint64_t cycle, size_t next_block,
+                                      size_t total_blocks,
+                                      size_t blocks_remaining,
+                                      const std::vector<SmSnapshot> &sms);
+
+/**
+ * The epoch length (in core cycles) the parallel engine uses for the
+ * given configuration: the minimum latency of any path through the
+ * shared L2/DRAM model. Any request issued inside an epoch completes
+ * at or after the next epoch boundary, which is what makes deferring
+ * shared-state arbitration to the boundary exact rather than
+ * approximate (see DESIGN.md "Parallel timing engine").
+ */
+uint64_t epochCyclesFor(const SimConfig &cfg);
+
+/**
+ * Test hook: cap the parallel engine's epoch length at @p cycles
+ * (0 restores the automatic epochCyclesFor value). Values above the
+ * safe bound are clamped to it — shorter epochs are always sound,
+ * longer ones are not — so property tests can sweep epoch lengths
+ * and assert bit-identical stats without risking an unsound run.
+ */
+void setSimEpochForTest(uint64_t cycles);
 
 /** Simulates recorded kernels under one architectural configuration. */
 class TimingSim

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Determinism tests for the epoch-synchronized parallel timing
+ * engine: serial-vs-parallel bit-identity on synthetic kernels and
+ * on every registered GPU workload, epoch-length invariance, the
+ * oversubscribed-CTA guard (metric + RODINIA_STRICT panic), and the
+ * deadlock-diagnostic formatter.
+ *
+ * The EpochEngine suite is cheap (synthetic kernels) and runs in the
+ * tsan-smoke lane; the SerialParallelWorkloads matrix replays the
+ * whole registry and stays in the default lane.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/characterize.hh"
+#include "core/workload.hh"
+#include "gpusim/kernel.hh"
+#include "gpusim/recorder.hh"
+#include "gpusim/replay.hh"
+#include "gpusim/simconfig.hh"
+#include "gpusim/timing.hh"
+#include "support/metrics.hh"
+#include "support/threadbudget.hh"
+
+using namespace rodinia;
+using namespace rodinia::gpusim;
+
+namespace {
+
+LaunchConfig
+launchOf(int grid, int block)
+{
+    LaunchConfig l;
+    l.gridDim = grid;
+    l.blockDim = block;
+    return l;
+}
+
+/**
+ * RAII: pin the thread budget high enough that tryAcquire really
+ * grants helpers regardless of the build machine's core count, and
+ * restore the old capacity on exit.
+ */
+struct BudgetRaise
+{
+    int old;
+    explicit BudgetRaise(int n)
+        : old(support::ThreadBudget::instance().capacity())
+    {
+        support::ThreadBudget::instance().setCapacity(n);
+    }
+    ~BudgetRaise() { support::ThreadBudget::instance().setCapacity(old); }
+};
+
+/** RAII epoch-length override; always restores the automatic value. */
+struct EpochCap
+{
+    explicit EpochCap(uint64_t cycles) { setSimEpochForTest(cycles); }
+    ~EpochCap() { setSimEpochForTest(0); }
+};
+
+/**
+ * A seeded synthetic kernel that exercises every shared-state path
+ * the epoch engine defers: strided and random global loads/stores
+ * (coalescing, L1/L2, channels), texture and constant reads,
+ * shared-memory traffic with bank conflicts, divergent branches,
+ * and barriers.
+ */
+KernelRecording
+syntheticKernel(unsigned seed, int grid, int block)
+{
+    static std::vector<float> data(1 << 16, 1.0f);
+    return recordKernel(launchOf(grid, block), [&](KernelCtx &ctx) {
+        std::minstd_rand rng(seed * 7919u + unsigned(ctx.globalId()));
+        auto sh = ctx.shared<int>(size_t(ctx.blockDim()));
+        int acc = 0;
+        for (int i = 0; i < 4; ++i) {
+            size_t idx =
+                (size_t(ctx.globalId()) * 4 + size_t(i) * 96 +
+                 rng() % 64) %
+                data.size();
+            ctx.ldg(&data[idx]);
+            ctx.alu(2);
+            if (ctx.tid() % (2 + i) == 0) {
+                ctx.branch(true);
+                ctx.ldt(&data[(idx * 3) % data.size()]);
+            } else {
+                ctx.branch(false);
+                ctx.ldc(&data[idx % 256]);
+            }
+            sh.put(ctx, ctx.tid(), int(idx));
+            ctx.sync();
+            acc += sh.get(ctx, (ctx.tid() + i + 1) % ctx.blockDim());
+            ctx.fp(3);
+        }
+        ctx.stg(&data[size_t(ctx.globalId()) % data.size()],
+                float(acc));
+    });
+}
+
+std::vector<SimConfig>
+testConfigs()
+{
+    // No-L2 default, Fermi (L1 + unified L2), and a small shader
+    // count that forces many CTAs per SM and short idle jumps.
+    return {SimConfig::gpgpusimDefault(), SimConfig::gtx480(false),
+            SimConfig::shaders(4)};
+}
+
+KernelStats
+simulateWith(const SimConfig &base, int threads,
+             const KernelRecording &rec)
+{
+    SimConfig cfg = base;
+    cfg.simThreads = threads;
+    return TimingSim(cfg).simulate(rec);
+}
+
+uint64_t
+metricValue(const char *name)
+{
+    return support::metrics::Registry::global().snapshot().value(name);
+}
+
+} // namespace
+
+TEST(EpochEngine, BitIdenticalToSerialOnSyntheticKernels)
+{
+    BudgetRaise budget(8);
+    for (unsigned seed : {1u, 2u, 3u}) {
+        KernelRecording rec = syntheticKernel(seed, 24, 96);
+        for (const SimConfig &cfg : testConfigs()) {
+            KernelStats serial = simulateWith(cfg, 1, rec);
+            for (int threads : {2, 4, 8}) {
+                KernelStats par = simulateWith(cfg, threads, rec);
+                EXPECT_EQ(serial, par)
+                    << "seed " << seed << " threads " << threads;
+                EXPECT_EQ(serializeKernelStats(serial),
+                          serializeKernelStats(par));
+            }
+        }
+    }
+}
+
+TEST(EpochEngine, EpochLengthNeverChangesResults)
+{
+    // Any epoch shorter than the automatic bound is sound; sweeping
+    // lengths (including the degenerate E=1 lockstep) must leave the
+    // stats bit-identical. This is the core soundness property: the
+    // barrier placement only affects scheduling, never arbitration
+    // order.
+    BudgetRaise budget(8);
+    KernelRecording rec = syntheticKernel(7, 16, 64);
+    for (const SimConfig &cfg : testConfigs()) {
+        ASSERT_GE(epochCyclesFor(cfg), 1u);
+        KernelStats serial = simulateWith(cfg, 1, rec);
+        for (uint64_t epoch : {uint64_t(1), uint64_t(7), uint64_t(63),
+                               uint64_t(100000)}) {
+            EpochCap cap(epoch);
+            KernelStats par = simulateWith(cfg, 4, rec);
+            EXPECT_EQ(serial, par) << "epoch cap " << epoch;
+        }
+    }
+}
+
+TEST(EpochEngine, MoreThreadsThanSmsOrBlocksStillExact)
+{
+    BudgetRaise budget(32);
+    // 2 blocks on a 4-SM config with 16 requested threads: the
+    // engine must clamp its lane/worker structure, not wedge or
+    // diverge.
+    KernelRecording rec = syntheticKernel(11, 2, 32);
+    SimConfig cfg = SimConfig::shaders(4);
+    KernelStats serial = simulateWith(cfg, 1, rec);
+    EXPECT_EQ(serial, simulateWith(cfg, 16, rec));
+    // Single-block recordings fall back to the serial engine.
+    KernelRecording one = syntheticKernel(12, 1, 32);
+    EXPECT_EQ(simulateWith(cfg, 1, one), simulateWith(cfg, 8, one));
+}
+
+TEST(EpochEngine, LaunchSequenceAccumulatesIdentically)
+{
+    BudgetRaise budget(8);
+    LaunchSequence seq;
+    seq.launches.push_back(syntheticKernel(21, 8, 64));
+    seq.launches.push_back(syntheticKernel(22, 12, 32));
+    for (const SimConfig &base : testConfigs()) {
+        SimConfig serial_cfg = base;
+        serial_cfg.simThreads = 1;
+        SimConfig par_cfg = base;
+        par_cfg.simThreads = 4;
+        EXPECT_EQ(TimingSim(serial_cfg).simulate(seq),
+                  TimingSim(par_cfg).simulate(seq));
+    }
+}
+
+TEST(EpochEngine, EmitsEpochTelemetry)
+{
+    BudgetRaise budget(8);
+    uint64_t runs_before = metricValue("gpusim.epoch.runs");
+    uint64_t epochs_before = metricValue("gpusim.epoch.count");
+    KernelRecording rec = syntheticKernel(31, 8, 64);
+    simulateWith(SimConfig::gpgpusimDefault(), 4, rec);
+    EXPECT_EQ(metricValue("gpusim.epoch.runs"), runs_before + 1);
+    EXPECT_GT(metricValue("gpusim.epoch.count"), epochs_before);
+    EXPECT_GE(metricValue("gpusim.epoch.threads"), 1u);
+}
+
+TEST(EpochEngine, OversubscribedCtaCountsMetric)
+{
+    // A CTA demanding 64 kB of shared memory can never fit the
+    // 32 kB SM, but the placement hatch admits it so the sim makes
+    // progress. The guard must count each such admission.
+    uint64_t before = metricValue("gpusim.oversubscribed_cta");
+    std::vector<float> data(64, 0.0f);
+    KernelRecording rec =
+        recordKernel(launchOf(3, 32), [&](KernelCtx &ctx) {
+            auto sh = ctx.shared<double>(8192); // 64 kB > 32 kB SM
+            sh.put(ctx, ctx.tid(), 1.0);
+            ctx.sync();
+            ctx.stg(&data[ctx.tid()],
+                    float(sh.get(ctx, ctx.tid())));
+        });
+    KernelStats serial =
+        simulateWith(SimConfig::gpgpusimDefault(), 1, rec);
+    EXPECT_EQ(metricValue("gpusim.oversubscribed_cta"), before + 3);
+    EXPECT_GT(serial.cycles, 0u);
+    // The parallel engine reports the same admissions and the same
+    // stats.
+    BudgetRaise budget(8);
+    EXPECT_EQ(simulateWith(SimConfig::gpgpusimDefault(), 4, rec),
+              serial);
+    EXPECT_EQ(metricValue("gpusim.oversubscribed_cta"), before + 6);
+}
+
+TEST(EpochEngine, DeadlockDiagnosticsNameEverySm)
+{
+    std::vector<SmSnapshot> sms(2);
+    sms[0].readyWarps = 3;
+    sms[0].waitingWarps = 1;
+    sms[0].residentCtas = 2;
+    sms[0].freeCycle = 120;
+    sms[0].nextBound = 130;
+    sms[1].nextBound = ~uint64_t(0); // idle sentinel
+    std::string msg = formatDeadlockDiagnostics(1000, 5, 12, 7, sms);
+    EXPECT_NE(msg.find("cycle 1000"), std::string::npos);
+    EXPECT_NE(msg.find("7 of 12 blocks"), std::string::npos);
+    EXPECT_NE(msg.find("next block to place: 5"), std::string::npos);
+    EXPECT_NE(msg.find("sm0:"), std::string::npos);
+    EXPECT_NE(msg.find("ready=3"), std::string::npos);
+    EXPECT_NE(msg.find("sm1:"), std::string::npos);
+    EXPECT_NE(msg.find("idle"), std::string::npos);
+}
+
+TEST(EpochEngine, EpochLengthTracksSharedPathLatency)
+{
+    SimConfig no_l2 = SimConfig::gpgpusimDefault();
+    EXPECT_EQ(epochCyclesFor(no_l2),
+              uint64_t(no_l2.channelServiceCycles() +
+                       no_l2.gmemLatencyCycles));
+    SimConfig fermi = SimConfig::gtx480(false);
+    EXPECT_EQ(epochCyclesFor(fermi),
+              std::min(uint64_t(fermi.l2HitLatency),
+                       uint64_t(fermi.channelServiceCycles() +
+                                fermi.gmemLatencyCycles)));
+}
+
+TEST(OversubscribedCtaDeath, StrictModePanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    std::vector<float> data(32, 0.0f);
+    KernelRecording rec =
+        recordKernel(launchOf(2, 32), [&](KernelCtx &ctx) {
+            auto sh = ctx.shared<double>(8192);
+            sh.put(ctx, ctx.tid(), 1.0);
+            ctx.stg(&data[ctx.tid()], 0.0f);
+        });
+    EXPECT_DEATH(
+        {
+            setenv("RODINIA_STRICT", "1", 1);
+            simulateWith(SimConfig::gpgpusimDefault(), 1, rec);
+        },
+        "oversubscribed");
+}
+
+TEST(SerialParallelWorkloads, AllGpuWorkloadsBitIdentical)
+{
+    // The acceptance matrix: every registered GPU workload and
+    // version at Small scale, serial vs 2/4/8 sim threads, on the
+    // paper's default config. Stats must match field for field and
+    // byte for byte in the store payload.
+    core::registerAllWorkloads();
+    BudgetRaise budget(8);
+    SimConfig cfg = SimConfig::gpgpusimDefault();
+    int checked = 0;
+    for (const auto &info : core::Registry::instance().all()) {
+        auto wl = core::Registry::instance().create(info.name);
+        for (int v = 1; v <= wl->gpuVersions(); ++v) {
+            LaunchSequence seq = wl->runGpu(core::Scale::Small, v);
+            SimConfig serial_cfg = cfg;
+            serial_cfg.simThreads = 1;
+            KernelStats serial = TimingSim(serial_cfg).simulate(seq);
+            for (int threads : {2, 4, 8}) {
+                SimConfig par_cfg = cfg;
+                par_cfg.simThreads = threads;
+                KernelStats par = TimingSim(par_cfg).simulate(seq);
+                EXPECT_EQ(serial, par)
+                    << info.name << " v" << v << " threads "
+                    << threads;
+                EXPECT_EQ(serializeKernelStats(serial),
+                          serializeKernelStats(par))
+                    << info.name << " v" << v;
+            }
+            ++checked;
+        }
+    }
+    EXPECT_GE(checked, 10) << "registry lost its GPU workloads";
+}
+
+TEST(SerialParallelWorkloads, FermiConfigBitIdentical)
+{
+    // The L1+L2 path has the most shared state; sweep a few
+    // workloads under the GTX 480 preset too.
+    core::registerAllWorkloads();
+    BudgetRaise budget(8);
+    SimConfig cfg = SimConfig::gtx480(false);
+    for (const char *name : {"kmeans", "srad", "hotspot"}) {
+        if (!core::Registry::instance().has(name))
+            continue;
+        auto wl = core::Registry::instance().create(name);
+        if (wl->gpuVersions() < 1)
+            continue;
+        LaunchSequence seq = wl->runGpu(core::Scale::Small, 1);
+        SimConfig serial_cfg = cfg;
+        serial_cfg.simThreads = 1;
+        KernelStats serial = TimingSim(serial_cfg).simulate(seq);
+        SimConfig par_cfg = cfg;
+        par_cfg.simThreads = 4;
+        EXPECT_EQ(serial, TimingSim(par_cfg).simulate(seq)) << name;
+    }
+}

@@ -47,6 +47,7 @@
 #include "driver/job.hh"
 #include "driver/result_store.hh"
 #include "driver/tracing.hh"
+#include "gpusim/simconfig.hh"
 #include "support/hash.hh"
 #include "support/metrics.hh"
 #include "support/progress.hh"
@@ -61,6 +62,7 @@ struct Options
     std::vector<std::string> figures; //!< empty = all
     core::Scale scale = core::Scale::Full;
     int jobs = 0;                     //!< 0 = hardware concurrency
+    int simThreads = 0;               //!< 0 = process default
     bool cache = true;
     // --cache-dir overrides; RODINIA_CACHE_DIR matches the bench
     // binaries' override so both share one store by default.
@@ -90,6 +92,10 @@ usage(const char *argv0)
         "                 tiny|small|full|paper (default full; paper\n"
         "                 streams Table I-scale traces)\n"
         "  --jobs N       worker threads (default: hardware threads)\n"
+        "  --sim-threads N  threads per GPU timing simulation\n"
+        "                 (default: RODINIA_SIM_THREADS or 1; the\n"
+        "                 parallel engine is bit-identical to serial,\n"
+        "                 so figures never depend on this)\n"
         "  --no-cache     bypass the on-disk result store\n"
         "  --cache-dir D  result store directory (default bench_cache)\n"
         "  --quiet        suppress per-job progress on stderr\n"
@@ -170,6 +176,20 @@ parseArgs(int argc, char **argv, Options &opt)
                 return false;
             }
             opt.jobs = int(n);
+        } else if (!std::strcmp(arg, "--sim-threads")) {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            char *end = nullptr;
+            long n = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || n < 1 || n > 256) {
+                std::fprintf(stderr,
+                             "--sim-threads: '%s' is not an integer "
+                             "in [1, 256]\n",
+                             v);
+                return false;
+            }
+            opt.simThreads = int(n);
         } else if (!std::strcmp(arg, "--no-cache")) {
             opt.cache = false;
         } else if (!std::strcmp(arg, "--cache-dir")) {
@@ -314,6 +334,11 @@ main(int argc, char **argv)
     if (hw < 1)
         hw = 1;
     int jobs = opt.jobs <= 0 ? hw : std::min(opt.jobs, hw);
+    // Per-sim parallelism composes with the job pool through the
+    // process-wide thread budget (busy workers shrink what a sim may
+    // claim), so an explicit request here cannot oversubscribe.
+    if (opt.simThreads > 0)
+        gpusim::SimConfig::setDefaultSimThreads(opt.simThreads);
     driver::Executor executor(jobs);
     driver::Context ctx(&store, &executor);
 
@@ -517,6 +542,22 @@ main(int argc, char **argv)
                     totalSimSeconds > 0.0
                         ? double(totalCycles) / totalSimSeconds / 1e6
                         : 0.0);
+        std::printf("parallel timing engine: %llu parallel runs / "
+                    "%llu epochs / %llu deferred replays / "
+                    "%llu CTA pauses\n",
+                    (unsigned long long)snap.value("gpusim.epoch.runs"),
+                    (unsigned long long)snap.value(
+                        "gpusim.epoch.count"),
+                    (unsigned long long)snap.value(
+                        "gpusim.epoch.deferred_replays"),
+                    (unsigned long long)snap.value(
+                        "gpusim.epoch.cta_pauses"));
+        if (uint64_t over = snap.value("gpusim.oversubscribed_cta"))
+            std::printf("WARNING: %llu CTA placement(s) exceeded "
+                        "standalone SM capacity (admitted by the "
+                        "make-progress hatch; set RODINIA_STRICT=1 "
+                        "to fail fast)\n",
+                        (unsigned long long)over);
         std::printf("result store: %llu hits / %llu misses / "
                     "%llu publish failures / %llu orphaned tmp "
                     "collected\n",
