@@ -391,6 +391,66 @@ Context::gpuStats(const std::string &name, core::Scale scale,
     return entry->value;
 }
 
+std::shared_ptr<Context::SimFlight>
+Context::simFlightJoin(const std::string &name, core::Scale scale,
+                       int version, const gpusim::SimConfig &config,
+                       bool &leader)
+{
+    std::ostringstream keyName;
+    keyName << name << "/s" << int(scale) << "/v" << version << "/"
+            << config.fingerprint();
+    std::lock_guard<std::mutex> lock(mu);
+    auto &slot = simFlights[keyName.str()];
+    if (slot) {
+        leader = false;
+        {
+            std::lock_guard<std::mutex> flock(slot->mu);
+            slot->followers += 1;
+        }
+        return slot;
+    }
+    leader = true;
+    slot = std::make_shared<SimFlight>();
+    return slot;
+}
+
+void
+Context::simFlightComplete(const std::shared_ptr<SimFlight> &flight,
+                           bool ok, const std::string &errorClass,
+                           const std::string &message,
+                           const std::string &payload)
+{
+    // Retire the registry entry FIRST: once followers can observe
+    // done, a brand-new request for the same key must start its own
+    // flight (served from the memo) rather than join a finished one.
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        for (auto it = simFlights.begin(); it != simFlights.end();
+             ++it) {
+            if (it->second == flight) {
+                simFlights.erase(it);
+                break;
+            }
+        }
+    }
+    {
+        std::lock_guard<std::mutex> flock(flight->mu);
+        flight->ok = ok;
+        flight->errorClass = errorClass;
+        flight->message = message;
+        flight->payload = payload;
+        flight->done = true;
+    }
+    flight->cv.notify_all();
+}
+
+size_t
+Context::simFlightsInFlight() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return simFlights.size();
+}
+
 std::vector<Context::GpuSimTelemetry>
 Context::gpuSimTelemetrySnapshot() const
 {

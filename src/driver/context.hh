@@ -17,6 +17,7 @@
 #define RODINIA_DRIVER_CONTEXT_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
@@ -153,6 +154,66 @@ class Context
     /** gpuStats results served from the result store, not simulated. */
     uint64_t gpuStatsStoreHits() const { return nGpuStoreHits.load(); }
 
+    // ---- in-flight simulation registry (single flight) ----------
+
+    /**
+     * One in-flight gpuStats computation, shared between the LEADER
+     * (the caller that actually runs it) and any FOLLOWERS that
+     * joined while it was running. The leader fills the outcome and
+     * flips done under mu; followers wait on cv — with their own
+     * cancellation checked between waits, so a follower abandoning
+     * the flight never disturbs the leader.
+     *
+     * The flight key is the gpuStats memo key (workload / scale /
+     * version / SimConfig::fingerprint), which within one process
+     * identifies exactly one (recording contentHash, fingerprint)
+     * pair — recordings are memoized per (workload, scale, version),
+     * so equal keys mean equal recording bytes and the store key the
+     * leader publishes under is the same one every follower would
+     * have computed.
+     */
+    struct SimFlight
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool done = false;
+        bool ok = false;          //!< outcome: served vs failed
+        std::string errorClass;   //!< failure-taxonomy name when !ok
+        std::string message;      //!< error message when !ok
+        std::string payload;      //!< serialized KernelStats when ok
+        uint64_t followers = 0;   //!< joins observed (telemetry)
+    };
+
+    /**
+     * Join-or-begin the in-flight simulation for a gpuStats key.
+     * Exactly one concurrent caller per key gets @p leader = true
+     * and MUST eventually call simFlightComplete() with the same
+     * handle however its computation ends; everyone else joins the
+     * existing flight as a follower and should wait on its cv.
+     * The flight is registered until the leader completes it, so a
+     * request arriving after completion starts a fresh flight — by
+     * then the result is memoized and the "fresh" flight is a cheap
+     * memo read.
+     */
+    std::shared_ptr<SimFlight>
+    simFlightJoin(const std::string &name, core::Scale scale,
+                  int version, const gpusim::SimConfig &config,
+                  bool &leader);
+
+    /**
+     * Leader-only: publish the outcome (ok + payload, or error class
+     * + message), retire the flight from the registry, and wake every
+     * follower. Exactly one call per leader handle.
+     */
+    void simFlightComplete(const std::shared_ptr<SimFlight> &flight,
+                           bool ok, const std::string &errorClass,
+                           const std::string &message,
+                           const std::string &payload);
+
+    /** In-flight simulation count (flights registered, not yet
+     *  completed). Snapshot for stats surfaces. */
+    size_t simFlightsInFlight() const;
+
   private:
     template <typename V> struct Entry
     {
@@ -186,6 +247,10 @@ class Context
     std::vector<SweepTelemetry> sweepTelemetry;
     std::vector<GpuSimTelemetry> gpuSimTelemetry;
     std::atomic<uint64_t> nGpuStoreHits{0};
+    /** Open flights by gpuStats key; erased on completion. The map
+     *  holds one ref, leader + followers hold their own, so a flight
+     *  outlives its registry entry as long as anyone waits on it. */
+    std::map<std::string, std::shared_ptr<SimFlight>> simFlights;
     /** Keys whose call_once completed ("stats:..."/"rhash:...") —
      *  the queryable side of the once_flag, for gpuStatsWarm. */
     std::set<std::string> doneKeys;

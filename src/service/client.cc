@@ -1,5 +1,6 @@
 #include "service/client.hh"
 
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -45,6 +46,34 @@ ServiceClient::connect(const std::string &socketPath, int timeoutMs)
                    std::chrono::milliseconds(timeoutMs);
     for (;;) {
         int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return false;
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            fd_ = fd;
+            return true;
+        }
+        ::close(fd);
+        if (std::chrono::steady_clock::now() >= give_up)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+}
+
+bool
+ServiceClient::connectTcp(int port, int timeoutMs)
+{
+    if (port <= 0 || port > 65535)
+        return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(uint16_t(port));
+
+    auto give_up = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(timeoutMs);
+    for (;;) {
+        int fd = ::socket(AF_INET, SOCK_STREAM, 0);
         if (fd < 0)
             return false;
         if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
@@ -130,6 +159,42 @@ ServiceClient::sendSim(const std::string &id,
 }
 
 bool
+ServiceClient::sendBatch(const std::string &id,
+                         const std::string &workload,
+                         const std::string &scale,
+                         const std::vector<std::string> &sweep,
+                         double deadlineMs, int version)
+{
+    std::string line = "{\"op\":\"batch\",\"id\":\"" + jsonEscape(id) +
+                       "\",\"workload\":\"" + jsonEscape(workload) +
+                       "\"";
+    if (!scale.empty())
+        line += ",\"scale\":\"" + jsonEscape(scale) + "\"";
+    if (version > 0)
+        line += ",\"version\":" + std::to_string(version);
+    line += ",\"sweep\":[";
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        if (i)
+            line += ",";
+        line += sweep[i].empty() ? "{}" : sweep[i];
+    }
+    line += "]";
+    if (deadlineMs > 0.0)
+        line += ",\"deadline_ms\":" +
+                std::to_string(int64_t(deadlineMs));
+    line += "}\n";
+    return writeAll(line);
+}
+
+bool
+ServiceClient::sendHello(const std::string &id, uint32_t weight)
+{
+    return writeAll("{\"op\":\"hello\",\"id\":\"" + jsonEscape(id) +
+                    "\",\"weight\":" + std::to_string(weight) +
+                    "}\n");
+}
+
+bool
 ServiceClient::sendStats(const std::string &id)
 {
     return writeAll("{\"op\":\"stats\",\"id\":\"" + jsonEscape(id) +
@@ -207,11 +272,25 @@ ServiceClient::readEvent()
         ev.type = Event::Type::Chunk;
         ev.seq = num("seq");
         ev.data = str("data");
+    } else if (type == "point") {
+        ev.type = Event::Type::Point;
+        ev.pointIndex = num("index");
+        std::string status = str("status");
+        if (status == "served") {
+            ev.pointOk = true;
+            ev.bytes = num("bytes");
+            ev.coalesced = num("coalesced") != 0;
+        } else {
+            ev.pointOk = false;
+            ev.errorClass = str("class");
+            ev.detail = str("message");
+        }
     } else if (type == "done") {
         ev.type = Event::Type::Done;
         ev.lane = str("lane");
         ev.bytes = num("bytes");
         ev.wallUs = num("wall_us");
+        ev.coalesced = num("coalesced") != 0;
     } else if (type == "error") {
         ev.type = Event::Type::Error;
         ev.errorClass = str("class");
@@ -238,12 +317,28 @@ ServiceClient::await(const std::string &id)
             out.lane = ev.lane;
             return false;
         case Event::Type::Chunk:
-            partial_[id] += ev.data;
+            // Inside a batch, chunks that follow a point header
+            // belong to that point (seq numbering continues across
+            // points, but reassembly is per point).
+            if (!out.points.empty())
+                out.points.back().payload += ev.data;
+            else
+                partial_[id] += ev.data;
             return false;
+        case Event::Type::Point: {
+            Outcome::Point p;
+            p.ok = ev.pointOk;
+            p.coalesced = ev.coalesced;
+            p.errorClass = ev.errorClass;
+            p.detail = ev.detail;
+            out.points.push_back(std::move(p));
+            return false;
+        }
         case Event::Type::Done:
             out.status = Outcome::Status::Served;
             out.lane = ev.lane;
             out.serverWallUs = ev.wallUs;
+            out.coalesced = ev.coalesced;
             out.payload = std::move(partial_[id]);
             partial_.erase(id);
             return true;

@@ -1,5 +1,6 @@
 #include "service/server.hh"
 
+#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -43,6 +44,17 @@ elapsedUs(Clock::time_point from, Clock::time_point to)
                         .count());
 }
 
+/** Error class for a cancellation, recovered from the token reason's
+ *  prefix (the watchdog, client cancel, and shutdown each stamp
+ *  their own). */
+const char *
+cancelClass(const std::string &reason)
+{
+    return reason.rfind("deadline:", 0) == 0    ? "deadline"
+           : reason.rfind("shutdown:", 0) == 0 ? "shutdown"
+                                               : "cancelled";
+}
+
 } // namespace
 
 // ---------------------------------------------------------------
@@ -57,6 +69,8 @@ struct ExperimentService::Impl
           admission(cfg.admission)
     {
         core::registerAllWorkloads();
+        queues[0] = WfqQueue<Task>(cfg.admission.wfqQuantum);
+        queues[1] = WfqQueue<Task>(cfg.admission.wfqQuantum);
     }
 
     // ---- connection state -------------------------------------
@@ -118,6 +132,7 @@ struct ExperimentService::Impl
         core::Scale scale = core::Scale::Full;
         int version = 0;
         gpusim::SimConfig simConfig;
+        std::vector<gpusim::SimConfig> sweep; //!< Op::Batch points
         Lane lane = Lane::Cold;
         std::shared_ptr<support::CancelToken> token;
         Clock::time_point accepted;
@@ -141,6 +156,8 @@ struct ExperimentService::Impl
     std::atomic<bool> running{false};
     std::atomic<uint64_t> connCounter{0};
     int listenFd = -1;
+    int tcpListenFd = -1; //!< optional loopback TCP listener
+    int boundTcpPort = 0; //!< resolved port (config may say 0)
     std::thread acceptThread;
     std::thread watchdogThread;
     std::vector<std::thread> workers;
@@ -150,7 +167,7 @@ struct ExperimentService::Impl
 
     std::mutex queueMu;
     std::condition_variable queueCv;
-    std::deque<Task> queues[2]; //!< [0]=warm, [1]=cold
+    WfqQueue<Task> queues[2]; //!< [0]=warm, [1]=cold; DRR per client
 
     std::mutex inflightMu;
     std::map<std::pair<std::string, std::string>, InFlight> inflight;
@@ -163,6 +180,8 @@ struct ExperimentService::Impl
     // ---- lifecycle --------------------------------------------
 
     bool bind();
+    bool bindTcp();
+    void acceptFrom(int fd);
     void acceptLoop();
     void readerLoop(const std::shared_ptr<Conn> &conn);
     void workerLoop(Lane lane);
@@ -176,10 +195,19 @@ struct ExperimentService::Impl
                      const Request &req);
     void handleCancel(const std::shared_ptr<Conn> &conn,
                       const Request &req);
+    void handleHello(const std::shared_ptr<Conn> &conn,
+                     const Request &req);
     void handleWork(const std::shared_ptr<Conn> &conn,
                     const Request &req);
     void execute(Task &task);
-    void streamPayload(Task &task, const std::string &payload);
+    void executeBatch(Task &task, Clock::time_point t0);
+    bool simPayload(const std::string &workload, core::Scale scale,
+                    int version, const gpusim::SimConfig &config,
+                    support::CancelToken *token, std::string &payload,
+                    std::string &errCls, std::string &errMsg,
+                    bool &coalesced);
+    void streamPayload(Task &task, const std::string &payload,
+                       bool coalesced);
     void finishError(Task &task, const std::string &cls,
                      const std::string &message);
 
@@ -230,39 +258,88 @@ ExperimentService::Impl::bind()
     return true;
 }
 
+/**
+ * Bind the optional loopback TCP listener. Everything past accept()
+ * is transport-agnostic — TCP clients get the same Conn, the same
+ * reader loop, the same admission path — so this is the whole of
+ * the TCP support on the server side.
+ */
+bool
+ExperimentService::Impl::bindTcp()
+{
+    tcpListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcpListenFd < 0) {
+        warn("service: tcp socket(): ", std::strerror(errno));
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(tcpListenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(uint16_t(config.tcpPort));
+    if (::bind(tcpListenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(tcpListenFd, 64) != 0) {
+        warn("service: cannot listen on 127.0.0.1:", config.tcpPort,
+             ": ", std::strerror(errno));
+        ::close(tcpListenFd);
+        tcpListenFd = -1;
+        return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(tcpListenFd,
+                      reinterpret_cast<sockaddr *>(&bound),
+                      &len) == 0)
+        boundTcpPort = int(ntohs(bound.sin_port));
+    return true;
+}
+
+void
+ExperimentService::Impl::acceptFrom(int listenerFd)
+{
+    int fd = ::accept(listenerFd, nullptr, nullptr);
+    if (fd < 0)
+        return;
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    conn->client = "c" + std::to_string(connCounter.fetch_add(1) + 1);
+    metrics::count("service.connections");
+    if (config.verbose)
+        warn("service: accepted ", conn->client);
+    conn->reader = std::thread([this, conn] { readerLoop(conn); });
+    std::lock_guard<std::mutex> lock(connsMu);
+    // Reap connections whose readers already finished so a
+    // long-lived daemon doesn't accumulate one zombie thread
+    // object per historical client.
+    for (auto it = conns.begin(); it != conns.end();) {
+        if ((*it)->readerDone.load(std::memory_order_acquire)) {
+            (*it)->reader.join();
+            it = conns.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    conns.push_back(std::move(conn));
+}
+
 void
 ExperimentService::Impl::acceptLoop()
 {
     while (running.load(std::memory_order_acquire)) {
-        pollfd pfd{listenFd, POLLIN, 0};
-        int pr = ::poll(&pfd, 1, 100);
+        pollfd pfds[2];
+        nfds_t nfds = 0;
+        pfds[nfds++] = {listenFd, POLLIN, 0};
+        if (tcpListenFd >= 0)
+            pfds[nfds++] = {tcpListenFd, POLLIN, 0};
+        int pr = ::poll(pfds, nfds, 100);
         if (pr <= 0)
             continue;
-        int fd = ::accept(listenFd, nullptr, nullptr);
-        if (fd < 0)
-            continue;
-        auto conn = std::make_shared<Conn>();
-        conn->fd = fd;
-        conn->client =
-            "c" + std::to_string(connCounter.fetch_add(1) + 1);
-        metrics::count("service.connections");
-        if (config.verbose)
-            warn("service: accepted ", conn->client);
-        conn->reader =
-            std::thread([this, conn] { readerLoop(conn); });
-        std::lock_guard<std::mutex> lock(connsMu);
-        // Reap connections whose readers already finished so a
-        // long-lived daemon doesn't accumulate one zombie thread
-        // object per historical client.
-        for (auto it = conns.begin(); it != conns.end();) {
-            if ((*it)->readerDone.load(std::memory_order_acquire)) {
-                (*it)->reader.join();
-                it = conns.erase(it);
-            } else {
-                ++it;
-            }
-        }
-        conns.push_back(std::move(conn));
+        for (nfds_t i = 0; i < nfds; ++i)
+            if (pfds[i].revents & POLLIN)
+                acceptFrom(pfds[i].fd);
     }
 }
 
@@ -345,11 +422,34 @@ ExperimentService::Impl::handleLine(const std::shared_ptr<Conn> &conn,
     case Op::Cancel:
         handleCancel(conn, req);
         return;
+    case Op::Hello:
+        handleHello(conn, req);
+        return;
     case Op::Figure:
     case Op::Sim:
+    case Op::Batch:
         handleWork(conn, req);
         return;
     }
+}
+
+void
+ExperimentService::Impl::handleHello(const std::shared_ptr<Conn> &conn,
+                                     const Request &req)
+{
+    // The parser already bounded the weight to [1, kMaxHelloWeight];
+    // the server's own policy ceiling is the second clamp, so an
+    // operator can cap how lopsided clients may make the rounds.
+    uint32_t w =
+        std::min<uint32_t>(req.weight, admission.policy().maxWeight);
+    w = std::max<uint32_t>(1, w);
+    {
+        std::lock_guard<std::mutex> lock(queueMu);
+        queues[0].setWeight(conn->client, w);
+        queues[1].setWeight(conn->client, w);
+    }
+    metrics::countLabeled("service.hello", conn->client, 1);
+    conn->write(renderDone(req.id, "hello", 0, 0, 0));
 }
 
 void
@@ -381,6 +481,7 @@ ExperimentService::Impl::handleStats(const std::shared_ptr<Conn> &conn,
         std::lock_guard<std::mutex> lock(figureCacheMu);
         os << ",\"figure_cache\":" << figureCache.size();
     }
+    os << ",\"sim_flights\":" << ctx.simFlightsInFlight();
     os << ",\"metrics\":"
        << metrics::Registry::global().snapshot().renderJson() << "}";
     conn->write(renderStats(req.id, os.str()));
@@ -462,11 +563,27 @@ ExperimentService::Impl::handleWork(const std::shared_ptr<Conn> &conn,
         task.workload = req.workload;
         task.scale = req.scale;
         task.version = req.version;
-        task.simConfig = req.config;
-        task.lane = ctx.gpuStatsWarm(req.workload, req.scale,
-                                     req.version, req.config)
-                        ? Lane::Warm
-                        : Lane::Cold;
+        if (req.op == Op::Batch) {
+            // A batch rides the warm lane only when EVERY point is
+            // already served from cache: one cold point would put a
+            // simulation on the warm workers and break the isolation
+            // property the smoke test pins.
+            task.sweep = req.sweep;
+            bool allWarm = true;
+            for (const auto &cfg : task.sweep)
+                if (!ctx.gpuStatsWarm(req.workload, req.scale,
+                                      req.version, cfg)) {
+                    allWarm = false;
+                    break;
+                }
+            task.lane = allWarm ? Lane::Warm : Lane::Cold;
+        } else {
+            task.simConfig = req.config;
+            task.lane = ctx.gpuStatsWarm(req.workload, req.scale,
+                                         req.version, req.config)
+                            ? Lane::Warm
+                            : Lane::Cold;
+        }
     }
 
     // One live request per (client, id): a reused id would make
@@ -519,8 +636,8 @@ ExperimentService::Impl::handleWork(const std::shared_ptr<Conn> &conn,
     conn->write(renderAccepted(req.id, laneName(task.lane)));
     {
         std::lock_guard<std::mutex> lock(queueMu);
-        queues[task.lane == Lane::Warm ? 0 : 1].push_back(
-            std::move(task));
+        queues[task.lane == Lane::Warm ? 0 : 1].push(
+            conn->client, std::move(task));
     }
     queueCv.notify_all();
 }
@@ -546,8 +663,7 @@ ExperimentService::Impl::workerLoop(Lane lane)
                     return;
                 continue;
             }
-            task = std::move(queues[qi].front());
-            queues[qi].pop_front();
+            queues[qi].pop(task);
         }
         admission.started(lane);
         execute(task);
@@ -573,7 +689,8 @@ ExperimentService::Impl::figureText(const driver::FigureDef &def)
 
 void
 ExperimentService::Impl::streamPayload(Task &task,
-                                       const std::string &payload)
+                                       const std::string &payload,
+                                       bool coalesced)
 {
     uint64_t seq = 0;
     for (size_t off = 0; off < payload.size(); off += kChunkBytes) {
@@ -585,7 +702,7 @@ ExperimentService::Impl::streamPayload(Task &task,
     }
     uint64_t wallUs = elapsedUs(task.accepted, Clock::now());
     task.conn->write(renderDone(task.id, laneName(task.lane), seq,
-                                payload.size(), wallUs));
+                                payload.size(), wallUs, coalesced));
     metrics::observeLabeled("service.latency_us",
                             task.conn->client + "/" +
                                 laneName(task.lane),
@@ -602,6 +719,75 @@ ExperimentService::Impl::finishError(Task &task,
                           task.conn->client + "/" + cls, 1);
 }
 
+/**
+ * Compute (or join) the serialized KernelStats for one sim point,
+ * under single-flight coalescing. Exactly one concurrent caller per
+ * (workload, scale, version, fingerprint) key — the LEADER — runs
+ * the simulation; everyone else FOLLOWS the leader's flight and gets
+ * the same bytes, or the leader's error class if it fails. A
+ * follower abandoning the wait (its own cancel/deadline) never
+ * disturbs the leader. Returns true and fills @p payload on success;
+ * false and fills @p errCls / @p errMsg otherwise. @p coalesced is
+ * set iff the result came from another request's execution.
+ */
+bool
+ExperimentService::Impl::simPayload(const std::string &workload,
+                                    core::Scale scale, int version,
+                                    const gpusim::SimConfig &config_,
+                                    support::CancelToken *token,
+                                    std::string &payload,
+                                    std::string &errCls,
+                                    std::string &errMsg,
+                                    bool &coalesced)
+{
+    bool leader = false;
+    auto flight =
+        ctx.simFlightJoin(workload, scale, version, config_, leader);
+    if (leader) {
+        metrics::count("service.coalesce.leaders");
+        coalesced = false;
+        bool ok = false;
+        try {
+            support::CancelScope scope(token);
+            payload = gpusim::serializeKernelStats(
+                ctx.gpuStats(workload, scale, version, config_));
+            ok = true;
+        } catch (const support::CancelledError &e) {
+            errCls = cancelClass(e.what());
+            errMsg = e.what();
+        } catch (...) {
+            auto c = driver::classifyCurrentException();
+            errCls = driver::errorClassName(c.cls);
+            errMsg = c.message;
+        }
+        // Publish however it ended — a leader that fails (or is
+        // cancelled) still wakes its followers with the error class,
+        // rather than stranding them until their own deadlines.
+        ctx.simFlightComplete(flight, ok, errCls, errMsg, payload);
+        return ok;
+    }
+    metrics::count("service.coalesce.followers");
+    coalesced = true;
+    std::unique_lock<std::mutex> lock(flight->mu);
+    while (!flight->done) {
+        if (token && token->cancelled()) {
+            errCls = cancelClass(token->reason());
+            errMsg = token->reason();
+            return false;
+        }
+        // Bounded wait so the follower's own cancellation is polled;
+        // the leader's completion notify_all cuts the wait short.
+        flight->cv.wait_for(lock, std::chrono::milliseconds(5));
+    }
+    if (flight->ok) {
+        payload = flight->payload;
+        return true;
+    }
+    errCls = flight->errorClass;
+    errMsg = flight->message;
+    return false;
+}
+
 void
 ExperimentService::Impl::execute(Task &task)
 {
@@ -609,30 +795,24 @@ ExperimentService::Impl::execute(Task &task)
     metrics::observeLabeled("service.queue_wait_us",
                             laneName(task.lane),
                             elapsedUs(task.accepted, t0));
+    if (task.op == Op::Batch) {
+        executeBatch(task, t0);
+        return;
+    }
     bool served = false;
+    bool coalesced = false;
     std::string spanWhat =
         task.op == Op::Figure ? task.figure->id : task.workload;
-    auto cancelClass = [](const std::string &r) {
-        return r.rfind("deadline:", 0) == 0    ? "deadline"
-               : r.rfind("shutdown:", 0) == 0 ? "shutdown"
-                                              : "cancelled";
-    };
     std::string payload, errCls, errMsg;
     // Cancelled while queued (deadline, client cancel, teardown):
     // answer without touching the Context at all.
     if (task.token->cancelled()) {
         errCls = cancelClass(task.token->reason());
         errMsg = task.token->reason();
-    } else {
+    } else if (task.op == Op::Figure) {
         support::CancelScope scope(task.token.get());
         try {
-            if (task.op == Op::Figure) {
-                payload = figureText(*task.figure);
-            } else {
-                payload = gpusim::serializeKernelStats(
-                    ctx.gpuStats(task.workload, task.scale,
-                                 task.version, task.simConfig));
-            }
+            payload = figureText(*task.figure);
             served = true;
         } catch (const support::CancelledError &e) {
             errCls = cancelClass(e.what());
@@ -642,6 +822,10 @@ ExperimentService::Impl::execute(Task &task)
             errCls = driver::errorClassName(c.cls);
             errMsg = c.message;
         }
+    } else {
+        served = simPayload(task.workload, task.scale, task.version,
+                            task.simConfig, task.token.get(), payload,
+                            errCls, errMsg, coalesced);
     }
     // Settle the accounting BEFORE the terminal response goes out: a
     // client that has seen "done"/"error" may immediately ask /stats
@@ -649,7 +833,7 @@ ExperimentService::Impl::execute(Task &task)
     eraseInflight(*task.conn, task.id);
     admission.finish(task.conn->client, task.lane, served);
     if (served)
-        streamPayload(task, payload);
+        streamPayload(task, payload, coalesced);
     else
         finishError(task, errCls, errMsg);
     if (auto *tc = driver::TraceCollector::active())
@@ -666,6 +850,110 @@ ExperimentService::Impl::execute(Task &task)
         warn("service: ", task.conn->client, "/", task.id, " ",
              spanWhat, " [", laneName(task.lane), "] ",
              served ? "served" : "failed");
+}
+
+/**
+ * One admitted batch: stream every sweep point's result (served
+ * header + chunks, or error header) in request order, then one
+ * terminal "done". Chunk seq numbering continues across points, so
+ * the client reassembles per-point payloads by splitting at the
+ * point headers. A per-point failure (bad config the model refuses,
+ * sim error) is reported on its point line and the batch CONTINUES;
+ * cancellation/deadline/shutdown of the batch's own token aborts the
+ * remainder with a terminal "error". Each point goes through the
+ * same single-flight join as a standalone sim request, so a batch
+ * overlapping other clients' requests still costs one execution per
+ * distinct config.
+ */
+void
+ExperimentService::Impl::executeBatch(Task &task, Clock::time_point t0)
+{
+    uint64_t seq = 0, totalBytes = 0;
+    size_t pointsServed = 0, pointsFailed = 0;
+    bool aborted = false;
+    std::string abortCls, abortMsg;
+    for (size_t i = 0; i < task.sweep.size(); ++i) {
+        if (task.token->cancelled()) {
+            aborted = true;
+            abortCls = cancelClass(task.token->reason());
+            abortMsg = task.token->reason();
+            break;
+        }
+        std::string payload, errCls, errMsg;
+        bool coalesced = false;
+        bool ok = simPayload(task.workload, task.scale, task.version,
+                             task.sweep[i], task.token.get(), payload,
+                             errCls, errMsg, coalesced);
+        if (!ok && task.token->cancelled()) {
+            // The batch itself was cancelled mid-point — terminal,
+            // not a per-point error.
+            aborted = true;
+            abortCls = errCls;
+            abortMsg = errMsg;
+            break;
+        }
+        if (!ok) {
+            ++pointsFailed;
+            if (!task.conn->write(
+                    renderPointError(task.id, i, errCls, errMsg)))
+                break; // client gone; settle below
+            continue;
+        }
+        if (coalesced)
+            metrics::count("service.batch.coalesced_points");
+        if (!task.conn->write(renderPointServed(
+                task.id, i, payload.size(), coalesced)))
+            break;
+        bool connLost = false;
+        for (size_t off = 0; off < payload.size();
+             off += kChunkBytes) {
+            if (!task.conn->write(renderChunk(
+                    task.id, seq,
+                    std::string_view(payload).substr(off,
+                                                     kChunkBytes)))) {
+                connLost = true;
+                break;
+            }
+            ++seq;
+        }
+        if (connLost)
+            break;
+        totalBytes += payload.size();
+        ++pointsServed;
+    }
+    // Served = the whole sweep was walked (individual point errors
+    // included — the client saw a verdict for every point). Settle
+    // before the terminal line, same as single requests.
+    bool served =
+        !aborted && pointsServed + pointsFailed == task.sweep.size();
+    eraseInflight(*task.conn, task.id);
+    admission.finish(task.conn->client, task.lane, served);
+    if (aborted) {
+        finishError(task, abortCls, abortMsg);
+    } else {
+        uint64_t wallUs = elapsedUs(task.accepted, Clock::now());
+        task.conn->write(renderDone(task.id, laneName(task.lane), seq,
+                                    totalBytes, wallUs));
+        metrics::observeLabeled("service.latency_us",
+                                task.conn->client + "/" +
+                                    laneName(task.lane),
+                                wallUs);
+    }
+    metrics::observe("service.batch.points", double(task.sweep.size()));
+    if (auto *tc = driver::TraceCollector::active())
+        tc->record("service", "batch",
+                   driver::TraceArgs()
+                       .str("client", task.conn->client)
+                       .str("what", task.workload)
+                       .str("lane", laneName(task.lane))
+                       .str("outcome", served ? "served" : "failed")
+                       .json(),
+                   t0, Clock::now());
+    if (config.verbose)
+        warn("service: ", task.conn->client, "/", task.id, " batch ",
+             task.workload, " [", laneName(task.lane), "] ",
+             served ? "served" : "failed", " (", pointsServed, "/",
+             task.sweep.size(), " points)");
 }
 
 // ---------------------------------------------------------------
@@ -732,6 +1020,12 @@ ExperimentService::start()
         return true;
     if (!impl->bind())
         return false;
+    if (impl->config.tcpPort >= 0 && !impl->bindTcp()) {
+        ::close(impl->listenFd);
+        impl->listenFd = -1;
+        ::unlink(impl->config.socketPath.c_str());
+        return false;
+    }
     impl->running.store(true, std::memory_order_release);
     impl->acceptThread =
         std::thread([this] { impl->acceptLoop(); });
@@ -763,6 +1057,10 @@ ExperimentService::stop()
         ::close(impl->listenFd);
         impl->listenFd = -1;
         ::unlink(impl->config.socketPath.c_str());
+    }
+    if (impl->tcpListenFd >= 0) {
+        ::close(impl->tcpListenFd);
+        impl->tcpListenFd = -1;
     }
     {
         std::lock_guard<std::mutex> lock(impl->inflightMu);
@@ -811,6 +1109,12 @@ uint64_t
 ExperimentService::connectionsAccepted() const
 {
     return impl->connCounter.load();
+}
+
+int
+ExperimentService::tcpPort() const
+{
+    return impl->boundTcpPort;
 }
 
 driver::Context &

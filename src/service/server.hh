@@ -3,13 +3,15 @@
  * The long-lived experiment service.
  *
  * ExperimentService turns the batch experiment driver into a daemon:
- * it listens on a Unix-domain stream socket and serves figure,
- * simulation, and stats requests from many concurrent clients over
- * the line-delimited JSON protocol (service/protocol.hh), all
- * sharing ONE warm driver::Context, ONE ResultStore, and ONE
- * work-stealing Executor — so the memoized characterizations,
- * recordings, and timing simulations that a batch run pays for once
- * are paid for once per daemon lifetime, not once per client.
+ * it listens on a Unix-domain stream socket (and, optionally, a
+ * loopback TCP port sharing the same accept path) and serves figure,
+ * simulation, batch-sweep, and stats requests from many concurrent
+ * clients over the line-delimited JSON protocol
+ * (service/protocol.hh), all sharing ONE warm driver::Context, ONE
+ * ResultStore, and ONE work-stealing Executor — so the memoized
+ * characterizations, recordings, and timing simulations that a
+ * batch run pays for once are paid for once per daemon lifetime,
+ * not once per client.
  *
  * Request path:
  *
@@ -22,13 +24,25 @@
  *        store entry)
  *     -> admission control (per-client quota, per-lane queue cap;
  *        see service/admission.hh) -> "accepted" or "rejected"
- *     -> lane queue
+ *     -> lane queue: per-client deficit-round-robin (WfqQueue), so
+ *        under saturation each backlogged client's served share
+ *        tracks its "hello" weight instead of its enqueue rate
  *   lane workers (dedicated warm + cold pools)
+ *     -> single flight: identical in-flight cold sims (same
+ *        workload/scale/version/config fingerprint — within one
+ *        process that pins the recording's content hash too)
+ *        coalesce onto ONE execution via the Context's flight
+ *        registry; followers stream the leader's bytes with
+ *        "coalesced":1 on their done line, a follower's cancel or
+ *        deadline never disturbs the leader, and a leader failure
+ *        propagates its error class to every follower
  *     -> execute under a per-request CancelToken (deadline watchdog
  *        + client cancel + connection teardown all cancel the same
  *        token, reusing the cooperative checkpoints threaded through
  *        the sim/sweep loops in PR 4)
- *     -> stream the payload back as "chunk" responses + "done"
+ *     -> stream the payload back as "chunk" responses + "done";
+ *        a batch streams per-point "point" headers with the chunk
+ *        seq continuing across points, one admission unit total
  *
  * Isolation property (pinned by tests): warm requests are never
  * behind a cold simulation — they have their own queue, their own
@@ -67,6 +81,9 @@ struct ServiceConfig
     AdmissionPolicy admission;
     double defaultDeadlineMs = 0.0; //!< applied when a request sends
                                     //!< none; 0 = no deadline
+    int tcpPort = -1;              //!< loopback TCP listener beside
+                                   //!< the socket: -1 = off, 0 =
+                                   //!< kernel-chosen ephemeral port
     bool verbose = false;          //!< per-request stderr log lines
 };
 
@@ -98,6 +115,10 @@ class ExperimentService
 
     /** Accepted connections so far (client ids are "c<N>"). */
     uint64_t connectionsAccepted() const;
+
+    /** Port the TCP listener actually bound (useful when the config
+     *  asked for 0 = ephemeral); 0 when the listener is disabled. */
+    int tcpPort() const;
 
     driver::Context &context();
     AdmissionController &admission();

@@ -1,11 +1,16 @@
 /**
  * @file
  * Tests for the experiment service (src/service/): protocol parsing
- * and fuzz robustness, admission-control accounting, end-to-end
- * request handling over a real Unix socket, cancellation and
- * deadlines, the warm/cold isolation property, and the
- * experimentd + expload child-process smoke path against the golden
- * corpus.
+ * and fuzz robustness (including the batch/hello grammar),
+ * admission-control accounting, end-to-end request handling over a
+ * real Unix socket and the loopback TCP listener, cancellation and
+ * deadlines, batch sweep streaming, the warm/cold isolation
+ * property, and the experimentd + expload child-process smoke path
+ * against the golden corpus (plus the weighted/batch replay modes).
+ *
+ * The WFQ fairness properties, single-flight edge cases, and the
+ * seeded multi-client stress flood live in test_service_stress.cc
+ * (the service-stress CI lane).
  */
 
 #include <gtest/gtest.h>
@@ -271,6 +276,137 @@ TEST(Protocol, DepthCapStopsHostileNesting)
     std::string err;
     EXPECT_FALSE(Json::parse(deep, root, err));
     EXPECT_NE(err.find("deep"), std::string::npos) << err;
+}
+
+TEST(Protocol, ParsesBatchRequestWithDuplicatePoints)
+{
+    Request req;
+    std::string err;
+    ASSERT_TRUE(service::parseRequest(
+        R"({"op":"batch","id":"b1","workload":"bfs","scale":"tiny",)"
+        R"("sweep":[{"gmemLatencyCycles":410},{},)"
+        R"({"gmemLatencyCycles":410}]})",
+        req, err))
+        << err;
+    EXPECT_EQ(req.op, service::Op::Batch);
+    EXPECT_EQ(req.workload, "bfs");
+    EXPECT_EQ(req.scale, core::Scale::Tiny);
+    ASSERT_EQ(req.sweep.size(), 3u);
+    // Duplicate points are legal at the grammar level; dedup is the
+    // memo's and the single-flight registry's job, not the parser's.
+    EXPECT_EQ(req.sweep[0].fingerprint(), req.sweep[2].fingerprint());
+    EXPECT_NE(req.sweep[0].fingerprint(), req.sweep[1].fingerprint());
+}
+
+TEST(Protocol, ParsesHelloRequestAndBounds)
+{
+    Request req;
+    std::string err;
+    ASSERT_TRUE(service::parseRequest(
+        R"({"op":"hello","id":"h1","weight":8})", req, err))
+        << err;
+    EXPECT_EQ(req.op, service::Op::Hello);
+    EXPECT_EQ(req.weight, 8u);
+    // The wire-level ceiling is a parse error, not a clamp — the
+    // server's own policy clamp (maxWeight) happens after admission.
+    ASSERT_TRUE(service::parseRequest(
+        R"({"op":"hello","id":"h2","weight":4096})", req, err))
+        << err;
+    EXPECT_EQ(req.weight, service::kMaxHelloWeight);
+    EXPECT_FALSE(service::parseRequest(
+        R"({"op":"hello","id":"h3","weight":4097})", req, err));
+}
+
+TEST(Protocol, BatchAndHelloGrammarRejections)
+{
+    struct Case
+    {
+        const char *line;
+        const char *needle;
+    } cases[] = {
+        // batch without a sweep / with a non-array sweep / empty
+        {R"({"op":"batch","id":"g1","workload":"bfs"})", "sweep"},
+        {R"({"op":"batch","id":"g2","workload":"bfs","sweep":{}})",
+         "sweep"},
+        {R"({"op":"batch","id":"g3","workload":"bfs","sweep":[]})",
+         "at least one"},
+        // a broken point is named by its index
+        {R"({"op":"batch","id":"g4","workload":"bfs",)"
+         R"("sweep":[{},{"numSMs":4}]})",
+         "sweep point 1"},
+        // keys misplaced across the new ops, never silently dropped
+        {R"({"op":"batch","id":"g5","workload":"bfs","sweep":[{}],)"
+         R"("config":{}})",
+         "config"},
+        {R"({"op":"sim","id":"g6","workload":"bfs","sweep":[{}]})",
+         "sweep"},
+        {R"({"op":"sim","id":"g7","workload":"bfs","weight":3})",
+         "weight"},
+        {R"({"op":"hello","id":"g8","weight":1,"workload":"bfs"})",
+         "workload"},
+        // hello weight must be a number in [1, kMaxHelloWeight]
+        {R"({"op":"hello","id":"g9","weight":0})", "weight"},
+        {R"({"op":"hello","id":"g10","weight":"big"})", "weight"},
+        {R"({"op":"hello","id":"g11"})", "weight"},
+    };
+    for (const Case &c : cases) {
+        Request req;
+        std::string err;
+        EXPECT_FALSE(service::parseRequest(c.line, req, err))
+            << "accepted: " << c.line;
+        EXPECT_NE(err.find(c.needle), std::string::npos)
+            << c.line << " -> " << err;
+    }
+}
+
+TEST(Protocol, OversizedSweepIsRejected)
+{
+    std::string line =
+        R"({"op":"batch","id":"big","workload":"bfs","sweep":[)";
+    for (size_t i = 0; i <= service::kMaxBatchPoints; ++i) {
+        if (i)
+            line += ",";
+        line += "{}";
+    }
+    line += "]}";
+    Request req;
+    std::string err;
+    EXPECT_FALSE(service::parseRequest(line, req, err));
+    EXPECT_NE(err.find("max is"), std::string::npos) << err;
+    // The id survives so the rejection can still be routed.
+    EXPECT_EQ(req.id, "big");
+}
+
+TEST(Protocol, PointAndCoalescedDoneRenderRoundTrip)
+{
+    Json root;
+    std::string err;
+    std::string p = service::renderPointServed("b", 2, 77, true);
+    ASSERT_EQ(p.back(), '\n');
+    ASSERT_TRUE(Json::parse(p.substr(0, p.size() - 1), root, err))
+        << err;
+    EXPECT_EQ(root.get("id")->string(), "b");
+    EXPECT_EQ(root.get("type")->string(), "point");
+    EXPECT_EQ(root.get("status")->string(), "served");
+    EXPECT_DOUBLE_EQ(root.get("index")->number(), 2.0);
+    EXPECT_DOUBLE_EQ(root.get("bytes")->number(), 77.0);
+    EXPECT_DOUBLE_EQ(root.get("coalesced")->number(), 1.0);
+
+    std::string e =
+        service::renderPointError("b", 3, "sim", "boom \"x\"");
+    ASSERT_TRUE(Json::parse(e.substr(0, e.size() - 1), root, err))
+        << err;
+    EXPECT_EQ(root.get("type")->string(), "point");
+    EXPECT_EQ(root.get("status")->string(), "error");
+    EXPECT_DOUBLE_EQ(root.get("index")->number(), 3.0);
+    EXPECT_EQ(root.get("class")->string(), "sim");
+    EXPECT_EQ(root.get("message")->string(), "boom \"x\"");
+
+    std::string d = service::renderDone("b", "cold", 4, 1000, 5, true);
+    ASSERT_TRUE(Json::parse(d.substr(0, d.size() - 1), root, err))
+        << err;
+    EXPECT_EQ(root.get("type")->string(), "done");
+    EXPECT_DOUBLE_EQ(root.get("coalesced")->number(), 1.0);
 }
 
 // ---------------------------------------------------------------
@@ -809,6 +945,185 @@ TEST(Service, WarmHitsAreIsolatedFromColdFlood)
 }
 
 // ---------------------------------------------------------------
+// The batch op: one admission unit, per-point streaming.
+// ---------------------------------------------------------------
+
+TEST(Service, BatchStreamsPerPointResultsAndDedupes)
+{
+    ScratchDir scratch("batch");
+    ExperimentService svc(testConfig(scratch));
+    ASSERT_TRUE(svc.start());
+
+    ServiceClient c;
+    ASSERT_TRUE(c.connect(scratch.socket()));
+    uint64_t before = simsRun();
+    std::vector<std::string> sweep = {
+        R"({"gmemLatencyCycles":401})", "{}",
+        R"({"gmemLatencyCycles":401})"}; // duplicate of point 0
+    ASSERT_TRUE(c.sendBatch("b1", "backprop", "tiny", sweep));
+    Outcome out = c.await("b1");
+    ASSERT_TRUE(out.ok()) << out.detail;
+    ASSERT_EQ(out.points.size(), 3u);
+    for (const auto &pt : out.points)
+        EXPECT_TRUE(pt.ok) << pt.detail;
+    gpusim::KernelStats stats;
+    EXPECT_TRUE(gpusim::parseKernelStats(out.points[0].payload, stats))
+        << out.points[0].payload.substr(0, 200);
+    // The duplicate point is served byte-identically without paying
+    // for a second simulation: 3 points, 2 distinct fingerprints,
+    // exactly 2 sims.
+    EXPECT_EQ(out.points[0].payload, out.points[2].payload);
+    EXPECT_NE(out.points[0].payload, out.points[1].payload);
+    EXPECT_EQ(simsRun(), before + 2);
+
+    // Replaying the whole sweep is a warm hit end to end.
+    ASSERT_TRUE(c.sendBatch("b2", "backprop", "tiny", sweep));
+    Outcome again = c.await("b2");
+    ASSERT_TRUE(again.ok()) << again.detail;
+    EXPECT_EQ(again.lane, "warm");
+    EXPECT_EQ(simsRun(), before + 2);
+    ASSERT_EQ(again.points.size(), 3u);
+    EXPECT_EQ(again.points[0].payload, out.points[0].payload);
+    svc.stop();
+}
+
+TEST(Service, BatchDeadlineAbortsRemainder)
+{
+    ScratchDir scratch("batchdl");
+    ServiceConfig cfg = testConfig(scratch);
+    cfg.coldWorkers = 1;
+    ExperimentService svc(cfg);
+    ASSERT_TRUE(svc.start());
+
+    ServiceClient c;
+    ASSERT_TRUE(c.connect(scratch.socket()));
+    // Four full-scale points against a 1 ms deadline: the watchdog
+    // fires while the batch is queued or inside an early point, and
+    // the remainder must be abandoned with one terminal error (not
+    // ground through point by point).
+    std::vector<std::string> sweep;
+    for (int i = 0; i < 4; ++i)
+        sweep.push_back("{\"gmemLatencyCycles\":" +
+                        std::to_string(700 + i) + "}");
+    ASSERT_TRUE(c.sendBatch("late", "bfs", "full", sweep, 1.0));
+    Outcome out = c.await("late");
+    ASSERT_EQ(out.status, Outcome::Status::Error) << out.lane;
+    EXPECT_EQ(out.errorClass, "deadline");
+    EXPECT_LT(out.points.size(), 4u);
+    // The connection is still usable after the abort.
+    ASSERT_TRUE(c.sendSim("ok", "backprop", "tiny", "{}"));
+    EXPECT_TRUE(c.await("ok").ok());
+    svc.stop();
+}
+
+TEST(Service, BatchMidStreamDisconnectSettlesAccounting)
+{
+    ScratchDir scratch("batchhang");
+    ServiceConfig cfg = testConfig(scratch);
+    cfg.coldWorkers = 1;
+    ExperimentService svc(cfg);
+    ASSERT_TRUE(svc.start());
+
+    {
+        ServiceClient doomed;
+        ASSERT_TRUE(doomed.connect(scratch.socket()));
+        std::vector<std::string> sweep;
+        for (int i = 0; i < 3; ++i)
+            sweep.push_back("{\"gmemLatencyCycles\":" +
+                            std::to_string(800 + i) + "}");
+        ASSERT_TRUE(doomed.sendBatch("d1", "bfs", "full", sweep));
+        EXPECT_EQ(doomed.readEvent().type,
+                  service::Event::Type::Accepted);
+        doomed.close();
+    }
+    // A batch is ONE admission unit: the hangup must release exactly
+    // one in-flight unit and the daemon keeps serving.
+    ServiceClient c;
+    ASSERT_TRUE(c.connect(scratch.socket()));
+    ASSERT_TRUE(c.sendSim("ok", "backprop", "tiny", "{}"));
+    EXPECT_TRUE(c.await("ok").ok());
+    for (int i = 0; i < 200; ++i) {
+        uint64_t inFlight = 0;
+        for (const auto &[name, cs] : svc.admission().snapshot())
+            inFlight += cs.inFlight;
+        if (inFlight == 0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    uint64_t inFlight = 0;
+    for (const auto &[name, cs] : svc.admission().snapshot())
+        inFlight += cs.inFlight;
+    EXPECT_EQ(inFlight, 0u);
+    svc.stop();
+}
+
+// ---------------------------------------------------------------
+// The loopback TCP listener: same protocol, same admission path.
+// ---------------------------------------------------------------
+
+TEST(Service, TcpListenerSharesProtocolAndAdmission)
+{
+    ScratchDir scratch("tcp");
+    ServiceConfig cfg = testConfig(scratch);
+    cfg.tcpPort = 0; // kernel-chosen ephemeral port
+    ExperimentService svc(cfg);
+    ASSERT_TRUE(svc.start());
+    ASSERT_GT(svc.tcpPort(), 0);
+
+    ServiceClient t;
+    ASSERT_TRUE(t.connectTcp(svc.tcpPort()));
+    ASSERT_TRUE(t.sendPing());
+    EXPECT_EQ(t.readEvent().type, service::Event::Type::Pong);
+    ASSERT_TRUE(t.sendSim("s1", "backprop", "tiny", "{}"));
+    Outcome out = t.await("s1");
+    ASSERT_TRUE(out.ok()) << out.detail;
+    EXPECT_EQ(out.lane, "cold");
+
+    // The fuzz contract holds over TCP too: garbage and oversized
+    // lines are per-request rejections, never a dropped connection.
+    ASSERT_TRUE(t.sendRaw("definitely not json\n"));
+    service::Event ev = t.readEvent();
+    EXPECT_EQ(ev.type, service::Event::Type::Rejected);
+    std::string big(service::kMaxRequestBytes + 10, 'y');
+    big += "\n";
+    ASSERT_TRUE(t.sendRaw(big));
+    ev = t.readEvent();
+    EXPECT_EQ(ev.type, service::Event::Type::Rejected);
+
+    // Both transports front the same Context: a sim primed over TCP
+    // is a warm hit over the Unix socket, byte for byte.
+    ServiceClient u;
+    ASSERT_TRUE(u.connect(scratch.socket()));
+    ASSERT_TRUE(u.sendSim("warm", "backprop", "tiny", "{}"));
+    Outcome w = u.await("warm");
+    ASSERT_TRUE(w.ok()) << w.detail;
+    EXPECT_EQ(w.lane, "warm");
+    EXPECT_EQ(w.payload, out.payload);
+    svc.stop();
+}
+
+TEST(Service, HelloSetsWeightAndAcks)
+{
+    ScratchDir scratch("hello");
+    ExperimentService svc(testConfig(scratch));
+    ASSERT_TRUE(svc.start());
+
+    ServiceClient c;
+    ASSERT_TRUE(c.connect(scratch.socket()));
+    ASSERT_TRUE(c.sendHello("h1", 8));
+    Outcome out = c.await("h1");
+    ASSERT_TRUE(out.ok()) << out.detail;
+    EXPECT_EQ(out.lane, "hello");
+    // Over-asking is clamped server-side (policy maxWeight), not an
+    // error; re-declaring is fine; work still flows afterwards.
+    ASSERT_TRUE(c.sendHello("h2", service::kMaxHelloWeight));
+    EXPECT_TRUE(c.await("h2").ok());
+    ASSERT_TRUE(c.sendSim("s", "backprop", "tiny", "{}"));
+    EXPECT_TRUE(c.await("s").ok());
+    svc.stop();
+}
+
+// ---------------------------------------------------------------
 // Child-process smoke: experimentd + expload against the golden
 // corpus (the CI service-smoke lane runs exactly this).
 // ---------------------------------------------------------------
@@ -876,6 +1191,78 @@ TEST(ServiceSmoke, ExploadReplaysGoldenTraffic)
     EXPECT_NE(out.find("golden_mismatch=0"), std::string::npos)
         << out;
     EXPECT_NE(out.find("EXPLOAD ok=1"), std::string::npos) << out;
+
+    kill(daemon, SIGTERM);
+    ASSERT_EQ(waitpid(daemon, &st, 0), daemon);
+    ASSERT_TRUE(WIFEXITED(st));
+    EXPECT_EQ(WEXITSTATUS(st), 0);
+}
+
+TEST(ServiceSmoke, ExploadWeightedBatchReplayReportsCoalescing)
+{
+    // The weighted/batch replay modes: two clients with 3:1 weights
+    // sweep the SAME batch points concurrently, so the run exercises
+    // hello, batch streaming, and single-flight coalescing end to
+    // end, and the extended EXPLOAD summary must carry the coalesce
+    // rate and per-client served shares.
+    ScratchDir scratch("smokewfq");
+    std::string sock = scratch.socket();
+    std::string cacheDir = scratch.cache();
+
+    pid_t daemon = fork();
+    ASSERT_GE(daemon, 0);
+    if (daemon == 0) {
+        const char *argv[] = {RODINIA_EXPERIMENTD_BIN, "--socket",
+                              sock.c_str(),  "--cache-dir",
+                              cacheDir.c_str(), "--max-weight", "16",
+                              nullptr};
+        execv(argv[0], const_cast<char **>(argv));
+        _exit(127);
+    }
+
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    pid_t load = fork();
+    ASSERT_GE(load, 0);
+    if (load == 0) {
+        dup2(fds[1], STDOUT_FILENO);
+        close(fds[0]);
+        close(fds[1]);
+        const char *argv[] = {RODINIA_EXPLOAD_BIN,
+                              "--socket", sock.c_str(),
+                              "--clients", "2",
+                              "--requests", "3",
+                              "--warm-ratio", "0",
+                              "--seed", "7",
+                              "--workload", "backprop",
+                              "--scale", "tiny",
+                              "--batch", "2",
+                              "--weights", "3,1",
+                              nullptr};
+        execv(argv[0], const_cast<char **>(argv));
+        _exit(127);
+    }
+    close(fds[1]);
+    std::string out;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = read(fds[0], buf, sizeof(buf));
+        if (n > 0) {
+            out.append(buf, size_t(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        break;
+    }
+    close(fds[0]);
+    int st = 0;
+    ASSERT_EQ(waitpid(load, &st, 0), load);
+    ASSERT_TRUE(WIFEXITED(st)) << out;
+    EXPECT_EQ(WEXITSTATUS(st), 0) << out;
+    EXPECT_NE(out.find("EXPLOAD ok=1"), std::string::npos) << out;
+    EXPECT_NE(out.find("coalesce_rate="), std::string::npos) << out;
+    EXPECT_NE(out.find("shares="), std::string::npos) << out;
 
     kill(daemon, SIGTERM);
     ASSERT_EQ(waitpid(daemon, &st, 0), daemon);

@@ -13,8 +13,8 @@
  *   experimentd --socket PATH [--cache-dir DIR] [--no-cache]
  *               [--jobs N] [--cold-workers N] [--warm-workers N]
  *               [--max-cold-queue N] [--max-warm-queue N]
- *               [--per-client N] [--deadline MS] [--trace FILE]
- *               [--verbose]
+ *               [--per-client N] [--max-weight N] [--tcp PORT]
+ *               [--deadline MS] [--trace FILE] [--verbose]
  *
  * Runs until SIGINT/SIGTERM, then drains (queued requests fail as
  * "shutdown"), prints the per-client accounting table, and exits 0.
@@ -62,6 +62,11 @@ usage(const char *argv0)
         "  --max-warm-queue N warm queue depth cap (default 256)\n"
         "  --per-client N     per-client in-flight quota (default "
         "16)\n"
+        "  --max-weight N     WFQ weight ceiling for 'hello'\n"
+        "                     (default 64)\n"
+        "  --tcp PORT         also listen on 127.0.0.1:PORT (0 =\n"
+        "                     kernel-chosen ephemeral port, printed\n"
+        "                     at startup)\n"
         "  --deadline MS      default soft deadline for requests\n"
         "                     that send none (default: none)\n"
         "  --trace FILE       write a Chrome trace_event JSON dump\n"
@@ -153,6 +158,17 @@ main(int argc, char **argv)
                 !parsePositive("--per-client", v, 1, 1 << 20, n))
                 return 2;
             cfg.admission.perClientInFlight = size_t(n);
+        } else if (!std::strcmp(arg, "--max-weight")) {
+            const char *v = value();
+            if (!v ||
+                !parsePositive("--max-weight", v, 1, 4096, n))
+                return 2;
+            cfg.admission.maxWeight = uint32_t(n);
+        } else if (!std::strcmp(arg, "--tcp")) {
+            const char *v = value();
+            if (!v || !parsePositive("--tcp", v, 0, 65535, n))
+                return 2;
+            cfg.tcpPort = int(n);
         } else if (!std::strcmp(arg, "--deadline")) {
             const char *v = value();
             if (!v ||
@@ -191,6 +207,9 @@ main(int argc, char **argv)
         return 1;
     std::fprintf(stderr, "experimentd: listening on %s\n",
                  cfg.socketPath.c_str());
+    if (cfg.tcpPort >= 0)
+        std::fprintf(stderr, "experimentd: tcp on 127.0.0.1:%d\n",
+                     svc.tcpPort());
 
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
@@ -214,12 +233,15 @@ main(int argc, char **argv)
     std::fputs(t.render().c_str(), stdout);
     auto snap = support::metrics::Registry::global().snapshot();
     std::printf("\n%llu connection(s), %llu sims run, "
-                "%llu store-served, %llu figure cache hit(s)\n",
+                "%llu store-served, %llu figure cache hit(s), "
+                "%llu coalesced follower(s)\n",
                 (unsigned long long)svc.connectionsAccepted(),
                 (unsigned long long)snap.value("gpusim.sims_run"),
                 (unsigned long long)snap.value("gpusim.store_served"),
                 (unsigned long long)snap.value(
-                    "service.figure_cache_hits"));
+                    "service.figure_cache_hits"),
+                (unsigned long long)snap.value(
+                    "service.coalesce.followers"));
 
     if (!traceOut.empty()) {
         driver::TraceCollector::install(nullptr);

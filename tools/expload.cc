@@ -59,6 +59,12 @@ struct Options
     double deadlineMs = 0.0;
     std::string goldenDir;
     bool printStats = false;
+    std::vector<uint32_t> weights; //!< per-client WFQ weights
+                                   //!< (cycled); empty = no hello
+    int batch = 0;  //!< points per cold batch; 0 = single sims.
+                    //!< Batch variants are SHARED across clients, so
+                    //!< concurrent clients coalesce naturally.
+    int tcpPort = 0; //!< >0: connect via 127.0.0.1:PORT instead
 };
 
 /** Per-thread tallies, summed after join. */
@@ -70,6 +76,8 @@ struct Tally
     uint64_t errors = 0;
     uint64_t lost = 0;
     uint64_t goldenMismatch = 0;
+    uint64_t simsServed = 0; //!< single sims + batch points
+    uint64_t coalesced = 0;  //!< of simsServed, rode another request
 
     void
     merge(const Tally &o)
@@ -80,6 +88,8 @@ struct Tally
         errors += o.errors;
         lost += o.lost;
         goldenMismatch += o.goldenMismatch;
+        simsServed += o.simsServed;
+        coalesced += o.coalesced;
     }
 };
 
@@ -106,6 +116,15 @@ usage(const char *argv0)
         "closed\n"
         "                   loop, send next on completion)\n"
         "  --deadline MS    per-request soft deadline\n"
+        "  --weights W,...  per-client WFQ weights, comma list\n"
+        "                   cycled over clients; each client sends\n"
+        "                   'hello' before its stream\n"
+        "  --batch N        cold requests become batch sweeps of N\n"
+        "                   points each; variant indices are shared\n"
+        "                   across clients so concurrent batches\n"
+        "                   coalesce (single flight)\n"
+        "  --tcp PORT       connect to 127.0.0.1:PORT instead of\n"
+        "                   the Unix socket\n"
         "  --golden DIR     byte-compare figure payloads against\n"
         "                   DIR/<figure>.txt; mismatch fails the "
         "run\n"
@@ -155,9 +174,19 @@ runClient(const Options &opt, int clientIdx, Tally &tally,
           const std::string &goldenText)
 {
     service::ServiceClient conn;
-    if (!conn.connect(opt.socketPath)) {
+    bool up = opt.tcpPort > 0 ? conn.connectTcp(opt.tcpPort)
+                              : conn.connect(opt.socketPath);
+    if (!up) {
         tally.lost += uint64_t(opt.requests);
         return;
+    }
+    if (!opt.weights.empty()) {
+        uint32_t w =
+            opt.weights[size_t(clientIdx) % opt.weights.size()];
+        if (!conn.sendHello("hello", w) || !conn.await("hello").ok()) {
+            tally.lost += uint64_t(opt.requests);
+            return;
+        }
     }
     Rng rng(opt.seed * 1000003ULL + uint64_t(clientIdx));
     using clock = std::chrono::steady_clock;
@@ -180,6 +209,19 @@ runClient(const Options &opt, int clientIdx, Tally &tally,
         bool wrote;
         if (warm) {
             wrote = conn.sendFigure(id, opt.figure, opt.deadlineMs);
+        } else if (opt.batch > 0) {
+            // Batch variants depend only on (r, p), NOT the client
+            // index: concurrent clients sweep the same points, which
+            // is exactly the traffic single-flight coalesces.
+            std::vector<std::string> sweep;
+            sweep.reserve(size_t(opt.batch));
+            for (int p = 0; p < opt.batch; ++p)
+                sweep.push_back("{\"gmemLatencyCycles\":" +
+                                std::to_string(400 + r * opt.batch +
+                                               p) +
+                                "}");
+            wrote = conn.sendBatch(id, opt.workload, opt.scale,
+                                   sweep, opt.deadlineMs);
         } else {
             int variant = clientIdx * opt.requests + r;
             std::string cfg =
@@ -201,6 +243,21 @@ runClient(const Options &opt, int clientIdx, Tally &tally,
         switch (out.status) {
         case service::Outcome::Status::Served:
             tally.served += 1;
+            if (!warm && opt.batch > 0) {
+                for (const auto &pt : out.points) {
+                    if (!pt.ok) {
+                        tally.errors += 1;
+                        continue;
+                    }
+                    tally.simsServed += 1;
+                    if (pt.coalesced)
+                        tally.coalesced += 1;
+                }
+            } else if (!warm) {
+                tally.simsServed += 1;
+                if (out.coalesced)
+                    tally.coalesced += 1;
+            }
             metrics::observeLabeled("expload.latency_us",
                                     out.lane.empty()
                                         ? (warm ? "warm" : "cold")
@@ -306,6 +363,39 @@ main(int argc, char **argv)
             if (!number(1, 86400000, d))
                 return 2;
             opt.deadlineMs = d;
+        } else if (!std::strcmp(arg, "--weights")) {
+            const char *v = value();
+            if (!v)
+                return 2;
+            std::string s(v);
+            size_t pos = 0;
+            while (pos <= s.size()) {
+                size_t comma = s.find(',', pos);
+                std::string tok = s.substr(
+                    pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+                char *end = nullptr;
+                long w = std::strtol(tok.c_str(), &end, 10);
+                if (end == tok.c_str() || *end != '\0' || w < 1 ||
+                    w > 4096) {
+                    std::fprintf(stderr,
+                                 "--weights: bad weight '%s'\n",
+                                 tok.c_str());
+                    return 2;
+                }
+                opt.weights.push_back(uint32_t(w));
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
+        } else if (!std::strcmp(arg, "--batch")) {
+            if (!number(1, 128, d))
+                return 2;
+            opt.batch = int(d);
+        } else if (!std::strcmp(arg, "--tcp")) {
+            if (!number(1, 65535, d))
+                return 2;
+            opt.tcpPort = int(d);
         } else if (!std::strcmp(arg, "--golden")) {
             const char *v = value();
             if (!v)
@@ -323,8 +413,9 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    if (opt.socketPath.empty()) {
-        std::fprintf(stderr, "expload: --socket is required\n");
+    if (opt.socketPath.empty() && opt.tcpPort <= 0) {
+        std::fprintf(stderr,
+                     "expload: --socket or --tcp is required\n");
         usage(argv[0]);
         return 2;
     }
@@ -405,9 +496,27 @@ main(int argc, char **argv)
 
     bool ok = total.goldenMismatch == 0 && total.errors == 0 &&
               total.lost == 0 && total.served > 0;
+    // Coalesce hit rate over the sims this run actually had served
+    // (batch points included), and each client's share of all served
+    // requests — the observable side of WFQ weighting.
+    double coalesceRate =
+        total.simsServed > 0
+            ? double(total.coalesced) / double(total.simsServed)
+            : 0.0;
+    std::string shares;
+    for (size_t c = 0; c < tallies.size(); ++c) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%s%.2f", c ? "," : "",
+                      total.served > 0
+                          ? double(tallies[c].served) /
+                                double(total.served)
+                          : 0.0);
+        shares += buf;
+    }
     std::printf("EXPLOAD ok=%d sent=%llu served=%llu rejected=%llu "
                 "errors=%llu lost=%llu golden_mismatch=%llu "
-                "warm_p99_us=%llu cold_p99_us=%llu\n",
+                "warm_p99_us=%llu cold_p99_us=%llu "
+                "coalesce_rate=%.2f shares=%s\n",
                 ok ? 1 : 0, (unsigned long long)total.sent,
                 (unsigned long long)total.served,
                 (unsigned long long)total.rejected,
@@ -415,6 +524,7 @@ main(int argc, char **argv)
                 (unsigned long long)total.lost,
                 (unsigned long long)total.goldenMismatch,
                 (unsigned long long)p99[0],
-                (unsigned long long)p99[1]);
+                (unsigned long long)p99[1], coalesceRate,
+                shares.c_str());
     return ok ? 0 : 1;
 }
